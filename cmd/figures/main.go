@@ -1,0 +1,91 @@
+// Command figures regenerates the paper's benchmark figures (3-6) and the
+// derived scalar claims of §5 on the simulated 128-processor cluster.
+//
+// Usage:
+//
+//	figures [-fig N] [-procs P] [-units-per-proc U] [-stride S] [-summary]
+//
+// With no -fig, all four figures run. -stride 0 suppresses the per-processor
+// breakdown tables (the summary lines always print). -fig 1 prints the
+// paper's Figure 1 taxonomy table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"prema/internal/bench"
+)
+
+const taxonomy = `Figure 1 — Using synchronization as a criterion for system classification
+
+  Synchronization model   Initiation             Dissemination  Systems
+  ----------------------  ---------------------  -------------  -----------------------------------------
+  (loosely) synchronous   stop-and-repartition   explicit       Zoltan, DRAMA, METIS, ParMETIS
+  asynchronous            poll-driven            explicit       PREMA + explicit polling, Charm++
+  asynchronous            interrupt-driven       implicit       PREMA + interrupts (this paper's approach)
+`
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (3-6; 1 prints the taxonomy; 0 = all benchmarks)")
+	procs := flag.Int("procs", 128, "simulated processors")
+	upp := flag.Int("units-per-proc", 128, "work units per processor")
+	stride := flag.Int("stride", 8, "per-processor breakdown sampling stride (0 = summaries only)")
+	csvDir := flag.String("csv", "", "directory to write per-system breakdown CSVs into (plots)")
+	flag.Parse()
+
+	if *fig == 1 {
+		fmt.Print(taxonomy)
+		return
+	}
+	var specs []bench.FigureSpec
+	if *fig == 0 {
+		specs = bench.Figures()
+	} else {
+		s, err := bench.FigureByID(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		specs = []bench.FigureSpec{s}
+	}
+	for _, spec := range specs {
+		fr, err := bench.RunFigure(spec, *procs, *upp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(fr.Report(*stride))
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, fr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeCSVs dumps one breakdown CSV per system of the figure.
+func writeCSVs(dir string, fr *bench.FigureRun) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range fr.Results {
+		path := filepath.Join(dir, fmt.Sprintf("fig%d_%s.csv", fr.Spec.ID, r.System))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}

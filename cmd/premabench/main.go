@@ -1,0 +1,58 @@
+// Command premabench runs one configuration of the paper's synthetic
+// microbenchmark (§5) and prints the per-processor time breakdown.
+//
+// Usage:
+//
+//	premabench -system prema-implicit -imbalance 0.5 -ratio 2.0 \
+//	           [-procs 128] [-units-per-proc 128] [-stride 8] [-hints mean]
+//
+// Systems: none, prema-explicit, prema-implicit, parmetis, charm,
+// charm-sync4 — plus prema-diffusion and prema-multilist for the policy
+// suite beyond the paper's featured work stealing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prema/internal/bench"
+)
+
+func main() {
+	system := flag.String("system", "prema-implicit", "system configuration to run")
+	imb := flag.Float64("imbalance", 0.5, "initial imbalance percentage (fraction of heavy units)")
+	ratio := flag.Float64("ratio", 2.0, "heavy/light weight ratio")
+	procs := flag.Int("procs", 128, "simulated processors")
+	upp := flag.Int("units-per-proc", 128, "work units per processor")
+	stride := flag.Int("stride", 8, "breakdown sampling stride (0 = summary only)")
+	hints := flag.String("hints", "mean", "weight hints given to balancers: mean | accurate")
+	flag.Parse()
+
+	w := bench.PaperWorkload(bench.FigureSpec{ID: 0, Imbalance: *imb, Ratio: *ratio}, *procs, *upp)
+	if *hints == "accurate" {
+		w.Hints = bench.HintAccurate
+	}
+	var (
+		r   *bench.Result
+		err error
+	)
+	switch *system {
+	case "prema-diffusion", "prema-multilist", "prema-worksteal":
+		r, err = bench.RunPremaPolicy(w, (*system)[len("prema-"):])
+	default:
+		r, err = bench.RunSystem(*system, w)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(r.Summary())
+	if *stride > 0 {
+		fmt.Println()
+		fmt.Println(r.Breakdown(*stride))
+	}
+	if len(r.Counters) > 0 {
+		fmt.Printf("counters: %v\n", r.Counters)
+	}
+}

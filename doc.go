@@ -1,0 +1,13 @@
+// Package prema is a reproduction of "An Evaluation of a Framework for the
+// Dynamic Load Balancing of Highly Adaptive and Irregular Parallel
+// Applications" (Barker & Chrisochoides, SC'03): the PREMA runtime — active
+// messages, a mobile object layer with transparent migration, and an
+// implicit (preemptive) load balancing framework — together with the
+// baselines the paper compares against (a ParMETIS-style adaptive
+// repartitioner and a Charm++-style chare runtime), all running on a
+// deterministic discrete-event cluster simulator.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for
+// paper-vs-measured results, and the examples/ directory for runnable
+// programs against the public API in internal/core.
+package prema

@@ -1,0 +1,3 @@
+module prema
+
+go 1.22

@@ -1,0 +1,320 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"prema/internal/dmcs"
+	"prema/internal/graph"
+	"prema/internal/parmetis"
+	"prema/internal/sim"
+)
+
+// ParmetisConfig configures the stop-and-repartition driver (the paper's
+// ParMETIS baseline, §5): a root-coordinated protocol in which underloaded
+// processors notify the root, the root decides whether outstanding work
+// warrants a repartition, and — if so — all processors synchronize, exchange
+// load information all-to-all, each compute the same adaptive repartition
+// (ParMETIS_V3_AdaptiveRepart's Unified Repartitioning Algorithm), and
+// migrate work units accordingly.
+type ParmetisConfig struct {
+	// WaterMark is the hinted-seconds threshold below which a processor
+	// reports itself underloaded to the root.
+	WaterMark float64
+	// WarrantPerProc: after the information exchange, the repartition is
+	// applied only if outstanding hinted work per processor is at least
+	// this many seconds; otherwise the round "mandates that work units
+	// remain on the processors on which they were originally assigned"
+	// (paper §5, the Figure 4 regime).
+	WarrantPerProc float64
+	// RoundInterval is the minimum spacing between repartition rounds.
+	RoundInterval sim.Time
+	// ReportInterval is how often an idle processor re-reports underload to
+	// the root (each report can trigger another round once RoundInterval
+	// has elapsed; in the declined regime this yields the paper's repeated
+	// synchronization cost).
+	ReportInterval sim.Time
+	// Alpha is the URA Relative Cost Factor.
+	Alpha float64
+	// PartitionBaseCPU + PartitionPerUnitCPU model the virtual CPU cost of
+	// one partition calculation over n outstanding units.
+	PartitionBaseCPU    sim.Time
+	PartitionPerUnitCPU sim.Time
+	// IdleTick bounds idle blocking.
+	IdleTick sim.Time
+}
+
+// DefaultParmetisConfig returns the calibrated configuration for the paper
+// figures.
+func DefaultParmetisConfig() ParmetisConfig {
+	return ParmetisConfig{
+		WaterMark:           12,
+		WarrantPerProc:      45,
+		RoundInterval:       15 * sim.Second,
+		ReportInterval:      5 * sim.Second,
+		Alpha:               0.1,
+		PartitionBaseCPU:    100 * sim.Millisecond,
+		PartitionPerUnitCPU: 150 * sim.Microsecond,
+		IdleTick:            200 * sim.Millisecond,
+	}
+}
+
+// wire payloads
+type pmList struct {
+	Round int
+	Proc  int
+	Units []int
+}
+
+type pmMigrate struct{ Units []int }
+
+// RunParmetis executes the synthetic benchmark under stop-and-repartition.
+func RunParmetis(w Workload, cfg ParmetisConfig) (*Result, error) {
+	e := w.engine()
+	rounds := 0
+	migrated := 0
+	declined := 0
+	for p := 0; p < w.Procs; p++ {
+		e.Spawn(fmt.Sprintf("p%03d", p), func(proc *sim.Proc) {
+			c := dmcs.New(proc)
+			me := proc.ID()
+			pending := append([]int(nil), w.UnitsOf(me)...)
+			hinted := func() float64 {
+				s := 0.0
+				for _, u := range pending {
+					s += w.Hint(u)
+				}
+				return s
+			}
+
+			// Root-only state.
+			completed := 0
+			roundActive := false
+			var lastRound sim.Time = -1 << 40
+			roundID := 0
+
+			// Per-proc round state.
+			joinRound := 0 // round id to join, 0 = none
+			var lastReport sim.Time = -1 << 40
+			lists := make(map[int][]int)
+			arrivedUnits := 0
+			stopped := false
+			reported := false
+
+			var hDone, hUnder, hSyncStart, hList, hMigrate, hStop dmcs.HandlerID
+			hDone = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+				completed++
+				if completed == w.Units && !roundActive {
+					for q := 0; q < w.Procs; q++ {
+						if q != me {
+							c.SendTagged(q, hStop, nil, 8, sim.TagSystem)
+						}
+					}
+					stopped = true
+				}
+			})
+			hUnder = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+				if roundActive || completed >= w.Units {
+					return
+				}
+				if proc.Now() < lastRound+cfg.RoundInterval {
+					return
+				}
+				roundActive = true
+				lastRound = proc.Now()
+				roundID++
+				for q := 0; q < w.Procs; q++ {
+					if q != me {
+						c.SendTagged(q, hSyncStart, roundID, 8, sim.TagSystem)
+					}
+				}
+				joinRound = roundID
+			})
+			hSyncStart = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+				joinRound = data.(int)
+			})
+			hList = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+				l := data.(pmList)
+				lists[l.Proc] = l.Units
+			})
+			hMigrate = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+				units := data.(pmMigrate).Units
+				pending = append(pending, units...)
+				arrivedUnits += len(units)
+			})
+			hStop = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+				stopped = true
+			})
+
+			// PM_DEBUG=1 prints per-round protocol tracing (diagnostics only).
+			debug := os.Getenv("PM_DEBUG") != ""
+			doRound := func() {
+				round := joinRound
+				if debug {
+					fmt.Printf("[%8.3f] p%02d join round %d pending=%d\n", proc.Now().Seconds(), me, round, len(pending))
+				}
+				joinRound = 0
+				// All-to-all information exchange: ship my pending list to
+				// every other processor.
+				for q := 0; q < w.Procs; q++ {
+					if q != me {
+						c.SendTagged(q, hList, pmList{Round: round, Proc: me, Units: pending}, 4*len(pending)+16, sim.TagSystem)
+					}
+				}
+				lists[me] = pending
+				// Synchronization: wait for everyone's list. The cost of
+				// this barrier is the paper's "Synchronization Time".
+				for len(lists) < w.Procs && !stopped {
+					proc.WaitMsg(sim.CatSync)
+					c.Poll()
+				}
+				if stopped {
+					return
+				}
+				if debug {
+					h := 0
+					n := 0
+					for q := 0; q < w.Procs; q++ {
+						for _, u := range lists[q] {
+							h = h*31 + u + 7*q
+							n++
+						}
+					}
+					fmt.Printf("[%8.3f] p%02d round %d lists complete n=%d hash=%d\n", proc.Now().Seconds(), me, round, n, h)
+				}
+				// Deterministic global view.
+				var all []int
+				oldOwner := make(map[int]int)
+				for q := 0; q < w.Procs; q++ {
+					for _, u := range lists[q] {
+						all = append(all, u)
+						oldOwner[u] = q
+					}
+				}
+				sort.Ints(all)
+				// Partition calculation (every processor computes the same
+				// answer, as ParMETIS does in parallel).
+				proc.Advance(cfg.PartitionBaseCPU+cfg.PartitionPerUnitCPU*sim.Time(len(all)), sim.CatPartition)
+				outstandingHinted := 0.0
+				for _, u := range all {
+					outstandingHinted += w.Hint(u)
+				}
+				newOwner := oldOwner
+				apply := outstandingHinted/float64(w.Procs) >= cfg.WarrantPerProc && len(all) > 0
+				if apply {
+					b := graph.NewBuilder(len(all))
+					oldPart := make([]int, len(all))
+					for i, u := range all {
+						b.SetVWgt(i, int64(w.Hint(u)*1000))
+						oldPart[i] = oldOwner[u]
+					}
+					g := b.Build()
+					opt := parmetis.DefaultOptions()
+					opt.Alpha = cfg.Alpha
+					opt.Part.Seed = w.Seed + int64(round)
+					newPart := parmetis.AdaptiveRepart(g, w.Procs, oldPart, opt)
+					newOwner = make(map[int]int, len(all))
+					for i, u := range all {
+						newOwner[u] = newPart[i]
+					}
+					if me == 0 {
+						rounds++
+						for i, u := range all {
+							if newPart[i] != oldOwner[u] {
+								migrated++
+							}
+						}
+					}
+				} else if me == 0 {
+					rounds++
+					declined++
+				}
+				// Migrate: batch my outgoing units per destination.
+				batches := make(map[int][]int)
+				var keep []int
+				expect := 0
+				for _, u := range pending {
+					if q := newOwner[u]; q != me {
+						batches[q] = append(batches[q], u)
+					} else {
+						keep = append(keep, u)
+					}
+				}
+				for _, u := range all {
+					if newOwner[u] == me && oldOwner[u] != me {
+						expect++
+					}
+				}
+				pending = keep
+				dsts := make([]int, 0, len(batches))
+				for q := range batches {
+					dsts = append(dsts, q)
+				}
+				sort.Ints(dsts)
+				for _, q := range dsts {
+					c.SendTagged(q, hMigrate, pmMigrate{Units: batches[q]}, w.UnitBytes*len(batches[q])+32, sim.TagSystem)
+				}
+				// Wait for my own immigrants before resuming.
+				for arrivedUnits < expect && !stopped {
+					proc.WaitMsg(sim.CatSync)
+					c.Poll()
+				}
+				arrivedUnits -= expect
+				if debug {
+					fmt.Printf("[%8.3f] p%02d round %d done expect=%d pending=%d\n", proc.Now().Seconds(), me, round, expect, len(pending))
+				}
+				lists = make(map[int][]int)
+				reported = false
+				// The root re-arms round initiation and handles a
+				// completion that landed mid-round.
+				if me == 0 {
+					roundActive = false
+					if completed == w.Units && !stopped {
+						for q := 1; q < w.Procs; q++ {
+							c.SendTagged(q, hStop, nil, 8, sim.TagSystem)
+						}
+						stopped = true
+					}
+				}
+			}
+
+			for !stopped {
+				c.Poll()
+				if stopped {
+					break
+				}
+				if joinRound != 0 {
+					doRound()
+					continue
+				}
+				if len(pending) > 0 {
+					u := pending[0]
+					pending = pending[1:]
+					proc.Advance(w.Actual(u), sim.CatCompute)
+					c.SendTagged(0, hDone, nil, 8, sim.TagApp)
+					if hinted() < cfg.WaterMark && !reported {
+						reported = true
+						lastReport = proc.Now()
+						c.SendTagged(0, hUnder, nil, 8, sim.TagSystem)
+					}
+					continue
+				}
+				if !reported || proc.Now() >= lastReport+cfg.ReportInterval {
+					reported = true
+					lastReport = proc.Now()
+					c.SendTagged(0, hUnder, nil, 8, sim.TagSystem)
+				}
+				proc.WaitMsgFor(cfg.IdleTick, sim.CatIdle)
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		return nil, fmt.Errorf("bench parmetis: %w", err)
+	}
+	res := collect("parmetis", w, e)
+	res.Counters["lb_rounds"] = rounds
+	res.Counters["rounds_declined"] = declined
+	res.Counters["units_migrated_root"] = migrated
+	return res, nil
+}

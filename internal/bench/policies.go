@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+
+	"prema/internal/core"
+	"prema/internal/dmcs"
+	"prema/internal/ilb"
+	"prema/internal/mol"
+	"prema/internal/policy"
+	"prema/internal/sim"
+)
+
+// PolicyNames lists the PREMA policy suite the benchmark can drive beyond
+// the paper's featured work stealing.
+var PolicyNames = []string{"worksteal", "diffusion", "multilist"}
+
+// RunPremaPolicy executes the synthetic benchmark on the PREMA runtime in
+// implicit mode under the named load balancing policy — the paper's policy
+// suite (§4: Work Stealing, Diffusion, Multi-list Scheduling).
+func RunPremaPolicy(w Workload, policyName string) (*Result, error) {
+	mkPolicy := func() (ilb.Policy, error) {
+		switch policyName {
+		case "worksteal":
+			cfg := policy.DefaultWSConfig()
+			cfg.MaxObjects = 1
+			return policy.NewWorkStealing(cfg), nil
+		case "diffusion":
+			cfg := policy.DefaultDiffConfig()
+			cfg.MinTransfer = w.MeanWeight()
+			cfg.MaxObjects = 2
+			return policy.NewDiffusion(cfg), nil
+		case "multilist":
+			cfg := policy.DefaultMLConfig()
+			cfg.HighMark = 4 * w.MeanWeight()
+			cfg.LowMark = 2 * w.MeanWeight()
+			return policy.NewMultiList(cfg), nil
+		default:
+			return nil, fmt.Errorf("bench: unknown policy %q", policyName)
+		}
+	}
+	if _, err := mkPolicy(); err != nil {
+		return nil, err
+	}
+	e := w.engine()
+	for p := 0; p < w.Procs; p++ {
+		e.Spawn(fmt.Sprintf("p%03d", p), func(proc *sim.Proc) {
+			opts := core.DefaultOptions(ilb.Implicit)
+			opts.LB.WaterMark = 12
+			pol, _ := mkPolicy()
+			opts.Policy = pol
+			r := core.NewRuntime(proc, opts)
+			done := 0
+			var hDone dmcs.HandlerID
+			hDone = r.Comm().Register(func(c *dmcs.Comm, src int, data any, size int) {
+				done++
+				if done == w.Units {
+					r.StopAll()
+				}
+			})
+			hWork := r.RegisterHandler(func(l *mol.Layer, obj *mol.Object, src int, data any, size int) {
+				r.Compute(w.Actual(obj.Data.(int)))
+				r.Comm().SendTagged(0, hDone, nil, 8, sim.TagApp)
+			})
+			for _, u := range w.UnitsOf(proc.ID()) {
+				mp := r.Register(u, w.UnitBytes)
+				r.Message(mp, hWork, nil, 8, w.Hint(u))
+			}
+			r.Run()
+		})
+	}
+	if err := e.Run(); err != nil {
+		return nil, fmt.Errorf("bench policy %s: %w", policyName, err)
+	}
+	return collect("prema-"+policyName, w, e), nil
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+
+	"prema/internal/core"
+	"prema/internal/dmcs"
+	"prema/internal/ilb"
+	"prema/internal/mol"
+	"prema/internal/policy"
+	"prema/internal/sim"
+)
+
+// PremaConfig configures the PREMA benchmark driver.
+type PremaConfig struct {
+	// Mode selects explicit or implicit (preemptive) load balancing.
+	Mode ilb.Mode
+	// Balance false runs the "no load balancing" baseline (figures (a)).
+	Balance bool
+	// WaterMark is the hinted-seconds threshold for explicit-mode
+	// balancing initiation.
+	WaterMark float64
+	// PollInterval is the implicit-mode polling thread period.
+	PollInterval sim.Time
+	// PollEvery is how many units the application executes between posted
+	// polls (see ilb.Config.PollEvery). The paper's benchmark executes
+	// coarse, well-tuned work units; 8 is the calibrated default.
+	PollEvery int
+	// WS tunes the work stealing policy.
+	WS policy.WSConfig
+}
+
+// DefaultPremaConfig returns the configuration used for the paper figures.
+func DefaultPremaConfig(mode ilb.Mode, balance bool) PremaConfig {
+	ws := policy.DefaultWSConfig()
+	// Coarse-grained objects: a single mobile object migrates per steal
+	// (paper footnote 2).
+	ws.MaxObjects = 1
+	return PremaConfig{
+		Mode:         mode,
+		Balance:      balance,
+		WaterMark:    12,
+		PollInterval: 10 * sim.Millisecond,
+		PollEvery:    8,
+		WS:           ws,
+	}
+}
+
+// RunPrema executes the synthetic benchmark on the PREMA runtime and
+// returns the per-processor breakdowns.
+func RunPrema(w Workload, cfg PremaConfig) (*Result, error) {
+	e := w.engine()
+	name := "none"
+	if cfg.Balance {
+		name = "prema-" + cfg.Mode.String()
+	}
+	policies := make([]*policy.WorkStealing, w.Procs)
+	for p := 0; p < w.Procs; p++ {
+		e.Spawn(fmt.Sprintf("p%03d", p), func(proc *sim.Proc) {
+			lbCfg := ilb.DefaultConfig(cfg.Mode)
+			lbCfg.WaterMark = cfg.WaterMark
+			if cfg.PollInterval > 0 {
+				lbCfg.PollInterval = cfg.PollInterval
+			}
+			if cfg.PollEvery > 0 {
+				lbCfg.PollEvery = cfg.PollEvery
+			}
+			opts := core.Options{LB: lbCfg, Mol: mol.DefaultConfig()}
+			if cfg.Balance {
+				ws := policy.NewWorkStealing(cfg.WS)
+				policies[proc.ID()] = ws
+				opts.Policy = ws
+			}
+			r := core.NewRuntime(proc, opts)
+
+			done := 0
+			var hDone dmcs.HandlerID
+			hDone = r.Comm().Register(func(c *dmcs.Comm, src int, data any, size int) {
+				done++
+				if done == w.Units {
+					r.StopAll()
+				}
+			})
+			hWork := r.RegisterHandler(func(l *mol.Layer, obj *mol.Object, src int, data any, size int) {
+				u := obj.Data.(int)
+				r.Compute(w.Actual(u))
+				r.Comm().SendTagged(0, hDone, nil, 8, sim.TagApp)
+			})
+
+			// Step 2+3 of the benchmark: create and register this
+			// processor's initial subdomains as mobile objects and send
+			// each its computation message (setup is untimed: registration
+			// and local enqueue cost no virtual time).
+			for _, u := range w.UnitsOf(proc.ID()) {
+				mp := r.Register(u, w.UnitBytes)
+				r.Message(mp, hWork, nil, 8, w.Hint(u))
+			}
+			r.Run()
+		})
+	}
+	if err := e.Run(); err != nil {
+		return nil, fmt.Errorf("bench %s: %w", name, err)
+	}
+	res := collect(name, w, e)
+	if cfg.Balance {
+		var req, grant, nack, moved int
+		for _, ws := range policies {
+			req += ws.Stats.Requests
+			grant += ws.Stats.GrantsServed
+			nack += ws.Stats.NacksServed
+			moved += ws.Stats.ObjectsSent
+		}
+		res.Counters["steal_requests"] = req
+		res.Counters["steal_grants"] = grant
+		res.Counters["steal_nacks"] = nack
+		res.Counters["objects_migrated"] = moved
+	}
+	return res, nil
+}
+
+// collect snapshots per-processor accounts into a Result.
+func collect(name string, w Workload, e *sim.Engine) *Result {
+	res := &Result{
+		System:   name,
+		W:        w,
+		Makespan: e.Makespan(),
+		Accounts: make([]sim.Account, e.NumProcs()),
+		Counters: make(map[string]int),
+	}
+	for i := 0; i < e.NumProcs(); i++ {
+		res.Accounts[i] = *e.Proc(i).Account()
+	}
+	return res
+}

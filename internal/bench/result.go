@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"prema/internal/sim"
+	"prema/internal/stats"
+)
+
+// Result is the outcome of one benchmark run: the quantities the paper's
+// figures plot (per-processor time breakdowns) and its text reports
+// (makespan, load-quality standard deviation, overhead percentages).
+type Result struct {
+	// System identifies the load balancing configuration
+	// ("none", "prema-explicit", "prema-implicit", "parmetis",
+	// "charm", "charm-sync4", ...).
+	System string
+	// W is the workload that was run.
+	W Workload
+	// Makespan is the overall runtime (max processor finish time).
+	Makespan sim.Time
+	// Accounts holds each processor's final time ledger.
+	Accounts []sim.Account
+	// Counters carries system-specific counters (steals, migrations,
+	// repartition rounds, ...) for reporting.
+	Counters map[string]int
+}
+
+// Series extracts one per-processor category series in seconds — one
+// stacked-bar component of the paper's figures.
+func (r *Result) Series(cat sim.Category) []float64 {
+	out := make([]float64, len(r.Accounts))
+	for i := range r.Accounts {
+		out[i] = r.Accounts[i][cat].Seconds()
+	}
+	return out
+}
+
+// ComputeStdDev is the paper's load-quality metric: the standard deviation
+// of per-processor computation times, in seconds.
+func (r *Result) ComputeStdDev() float64 {
+	return stats.StdDev(r.Series(sim.CatCompute))
+}
+
+// TotalCompute returns the machine-wide useful computation in seconds.
+func (r *Result) TotalCompute() float64 {
+	t := 0.0
+	for i := range r.Accounts {
+		t += r.Accounts[i][sim.CatCompute].Seconds()
+	}
+	return t
+}
+
+// OverheadPct returns total runtime-attributable overhead (everything that
+// is neither computation nor idle) as a percentage of useful computation —
+// the paper's "overhead attributable to the runtime system".
+func (r *Result) OverheadPct() float64 {
+	var o float64
+	for i := range r.Accounts {
+		o += r.Accounts[i].Overhead().Seconds()
+	}
+	c := r.TotalCompute()
+	if c == 0 {
+		return 0
+	}
+	return 100 * o / c
+}
+
+// SyncPct returns synchronization plus partition-calculation time as a
+// percentage of useful computation — the cost the paper charges against
+// stop-and-repartition schemes.
+func (r *Result) SyncPct() float64 {
+	var s float64
+	for i := range r.Accounts {
+		s += (r.Accounts[i][sim.CatSync] + r.Accounts[i][sim.CatPartition]).Seconds()
+	}
+	c := r.TotalCompute()
+	if c == 0 {
+		return 0
+	}
+	return 100 * s / c
+}
+
+// OverheadOfRuntimePct returns total runtime-attributable overhead as a
+// percentage of total machine time (makespan x processors) — the measure the
+// paper's mesh-experiment "<1% of the total runtime" claim uses.
+func (r *Result) OverheadOfRuntimePct() float64 {
+	var o float64
+	for i := range r.Accounts {
+		o += r.Accounts[i].Overhead().Seconds()
+	}
+	total := r.Makespan.Seconds() * float64(len(r.Accounts))
+	if total == 0 {
+		return 0
+	}
+	return 100 * o / total
+}
+
+// IdlePct returns idle time as a percentage of the makespan, averaged over
+// processors.
+func (r *Result) IdlePct() float64 {
+	var idle float64
+	for i := range r.Accounts {
+		idle += r.Accounts[i][sim.CatIdle].Seconds()
+	}
+	total := r.Makespan.Seconds() * float64(len(r.Accounts))
+	if total == 0 {
+		return 0
+	}
+	return 100 * idle / total
+}
+
+// Summary renders a one-line summary.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%-16s makespan=%8.1fs  stddev(comp)=%7.2fs  overhead=%6.3f%%  sync=%6.3f%%  idle=%5.1f%%",
+		r.System, r.Makespan.Seconds(), r.ComputeStdDev(), r.OverheadPct(), r.SyncPct(), r.IdlePct())
+}
+
+// WriteCSV emits the full per-processor breakdown as CSV (one row per
+// processor, seconds per category) for external plotting of the paper's
+// stacked-bar figures.
+func (r *Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "proc,compute,idle,messaging,scheduling,callback,pollthread,partition,sync"); err != nil {
+		return err
+	}
+	for i := range r.Accounts {
+		a := &r.Accounts[i]
+		_, err := fmt.Fprintf(w, "%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n", i,
+			a[sim.CatCompute].Seconds(), a[sim.CatIdle].Seconds(),
+			a[sim.CatMessaging].Seconds(), a[sim.CatScheduling].Seconds(),
+			a[sim.CatCallback].Seconds(), a[sim.CatPollThread].Seconds(),
+			a[sim.CatPartition].Seconds(), a[sim.CatSync].Seconds())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Breakdown renders the per-processor stacked-bar data of the paper's
+// figures as a text table, sampling every stride-th processor.
+func (r *Result) Breakdown(stride int) string {
+	if stride < 1 {
+		stride = 1
+	}
+	t := stats.NewTable("proc", "compute", "idle", "msg", "sched", "callback", "pollthr", "partition", "sync", "total")
+	for i := 0; i < len(r.Accounts); i += stride {
+		a := &r.Accounts[i]
+		t.AddRow(i,
+			a[sim.CatCompute].Seconds(), a[sim.CatIdle].Seconds(),
+			a[sim.CatMessaging].Seconds(), a[sim.CatScheduling].Seconds(),
+			a[sim.CatCallback].Seconds(), a[sim.CatPollThread].Seconds(),
+			a[sim.CatPartition].Seconds(), a[sim.CatSync].Seconds(),
+			a.Total().Seconds())
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (procs=%d units=%d heavyFrac=%.2f heavy=%s light=%s hints=%s)\n",
+		r.System, r.W.Procs, r.W.Units, r.W.HeavyFrac, r.W.Heavy, r.W.Light, r.W.Hints)
+	b.WriteString(t.String())
+	return b.String()
+}

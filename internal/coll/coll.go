@@ -1,0 +1,166 @@
+// Package coll provides collective operations — barrier, broadcast,
+// all-gather, all-reduce — built on the DMCS active-message layer. PREMA
+// itself never needs them (its whole point is avoiding global
+// synchronization), but loosely synchronous phases (field solvers,
+// stop-and-repartition) do, and the paper's future-work direction —
+// end-to-end applications mixing asynchronous and loosely synchronous
+// phases (§6) — is reproduced in this repository's hybrid experiment using
+// this package.
+//
+// All collectives are root-gathered, linear-fan implementations (gather to
+// processor 0, scatter back): simple, deterministic, and a fair model of
+// small-cluster MPI collectives over Ethernet. Every processor must
+// construct its Coll in the same SPMD order and call the same sequence of
+// collectives; each call site blocks until the collective completes, with
+// blocked time charged to sim.CatSync.
+package coll
+
+import (
+	"fmt"
+	"sort"
+
+	"prema/internal/dmcs"
+	"prema/internal/sim"
+)
+
+// Coll is a processor-local endpoint for collective operations.
+type Coll struct {
+	c  *dmcs.Comm
+	n  int
+	me int
+
+	seq      int                 // collective sequence number
+	gathered map[int]map[int]any // root: contributions keyed by seq then proc
+	released bool                // non-root: result arrived
+	result   any                 // the broadcast/reduce result
+	hGather  dmcs.HandlerID      // contribution to root
+	hRelease dmcs.HandlerID      // root -> all: result
+}
+
+type contribution struct {
+	Seq  int
+	Proc int
+	Data any
+}
+
+type release struct {
+	Seq  int
+	Data any
+}
+
+// New builds a collective endpoint; SPMD construction order applies.
+func New(c *dmcs.Comm) *Coll {
+	cl := &Coll{c: c, n: c.Proc().Engine().NumProcs(), me: c.Proc().ID(),
+		gathered: make(map[int]map[int]any)}
+	cl.hGather = c.Register(func(cc *dmcs.Comm, src int, data any, size int) {
+		ct := data.(contribution)
+		// A fast processor may already be contributing to the next
+		// collective while the root still works between two of its own
+		// calls — buffer by sequence number. Contributions for an already
+		// completed collective would indicate a protocol bug.
+		if ct.Seq <= cl.seq && cl.me == 0 && cl.gathered[ct.Seq] == nil {
+			panic(fmt.Sprintf("coll: proc %d got stale contribution for collective %d during %d",
+				cl.me, ct.Seq, cl.seq))
+		}
+		if cl.gathered[ct.Seq] == nil {
+			cl.gathered[ct.Seq] = make(map[int]any)
+		}
+		cl.gathered[ct.Seq][ct.Proc] = ct.Data
+	})
+	cl.hRelease = c.Register(func(cc *dmcs.Comm, src int, data any, size int) {
+		r := data.(release)
+		if r.Seq != cl.seq {
+			panic(fmt.Sprintf("coll: proc %d got release for collective %d during %d",
+				cl.me, r.Seq, cl.seq))
+		}
+		cl.released = true
+		cl.result = r.Data
+	})
+	return cl
+}
+
+// run executes one collective: contribute data (size bytes), the root
+// combines all contributions with combine, and everyone returns the
+// combined result. Waiting time lands in sim.CatSync.
+func (cl *Coll) run(data any, size int, combine func(map[int]any) (any, int)) any {
+	cl.seq++
+	if cl.me == 0 {
+		if cl.gathered[cl.seq] == nil {
+			cl.gathered[cl.seq] = make(map[int]any)
+		}
+		cl.gathered[cl.seq][0] = data
+		for len(cl.gathered[cl.seq]) < cl.n {
+			cl.c.Proc().WaitMsg(sim.CatSync)
+			cl.c.Poll()
+		}
+		out, outSize := combine(cl.gathered[cl.seq])
+		delete(cl.gathered, cl.seq)
+		for q := 1; q < cl.n; q++ {
+			cl.c.SendTagged(q, cl.hRelease, release{Seq: cl.seq, Data: out}, outSize, sim.TagSystem)
+		}
+		return out
+	}
+	cl.released = false
+	cl.c.SendTagged(0, cl.hGather, contribution{Seq: cl.seq, Proc: cl.me, Data: data}, size+16, sim.TagSystem)
+	for !cl.released {
+		cl.c.Proc().WaitMsg(sim.CatSync)
+		cl.c.Poll()
+	}
+	return cl.result
+}
+
+// Barrier blocks until every processor has entered it.
+func (cl *Coll) Barrier() {
+	cl.run(nil, 8, func(map[int]any) (any, int) { return nil, 8 })
+}
+
+// Broadcast returns root's data on every processor (data is ignored on
+// non-root processors).
+func (cl *Coll) Broadcast(data any, size int) any {
+	out := cl.run(data, size, func(g map[int]any) (any, int) { return g[0], size })
+	return out
+}
+
+// AllGather returns every processor's contribution, indexed by processor.
+func (cl *Coll) AllGather(data any, size int) []any {
+	out := cl.run(data, size, func(g map[int]any) (any, int) {
+		all := make([]any, cl.n)
+		for p, d := range g {
+			all[p] = d
+		}
+		return all, size * cl.n
+	})
+	return out.([]any)
+}
+
+// AllReduceFloat combines one float64 per processor with op ("sum", "max",
+// "min") and returns the result everywhere.
+func (cl *Coll) AllReduceFloat(x float64, op string) float64 {
+	out := cl.run(x, 8, func(g map[int]any) (any, int) {
+		keys := make([]int, 0, len(g))
+		for p := range g {
+			keys = append(keys, p)
+		}
+		sort.Ints(keys)
+		acc := g[keys[0]].(float64)
+		for _, p := range keys[1:] {
+			v := g[p].(float64)
+			switch op {
+			case "sum":
+				acc += v
+			case "max":
+				if v > acc {
+					acc = v
+				}
+			case "min":
+				if v < acc {
+					acc = v
+				}
+			default:
+				panic("coll: unknown reduce op " + op)
+			}
+		}
+		return acc, 8
+	})
+	return out.(float64)
+}

@@ -1,0 +1,141 @@
+package coll
+
+import (
+	"fmt"
+	"testing"
+
+	"prema/internal/dmcs"
+	"prema/internal/sim"
+)
+
+// spmd runs body on n processors, each with its own Coll.
+func spmd(t *testing.T, n int, body func(cl *Coll, p *sim.Proc)) *sim.Engine {
+	t.Helper()
+	e := sim.NewEngine(sim.Config{Seed: 13})
+	for i := 0; i < n; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *sim.Proc) {
+			body(New(dmcs.New(p)), p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	var exits []sim.Time
+	spmd(t, 4, func(cl *Coll, p *sim.Proc) {
+		// Staggered arrival: proc i computes i*100ms first.
+		p.Advance(sim.Time(p.ID())*100*sim.Millisecond, sim.CatCompute)
+		cl.Barrier()
+		exits = append(exits, p.Now())
+	})
+	// Nobody exits before the last arrival at 300ms.
+	for _, e := range exits {
+		if e < 300*sim.Millisecond {
+			t.Fatalf("barrier exit at %v before last arrival", e)
+		}
+	}
+}
+
+func TestBarrierChargesSync(t *testing.T) {
+	e := spmd(t, 4, func(cl *Coll, p *sim.Proc) {
+		if p.ID() == 3 {
+			p.Advance(time500(), sim.CatCompute)
+		}
+		cl.Barrier()
+	})
+	// Proc 0 waited ~500ms in sync.
+	if s := e.Proc(0).Account()[sim.CatSync]; s < 400*sim.Millisecond {
+		t.Fatalf("sync time = %v", s)
+	}
+}
+
+func time500() sim.Time { return 500 * sim.Millisecond }
+
+func TestBroadcast(t *testing.T) {
+	spmd(t, 4, func(cl *Coll, p *sim.Proc) {
+		var in any
+		if p.ID() == 0 {
+			in = "payload"
+		}
+		out := cl.Broadcast(in, 64)
+		if out.(string) != "payload" {
+			t.Errorf("proc %d got %v", p.ID(), out)
+		}
+	})
+}
+
+func TestAllGather(t *testing.T) {
+	spmd(t, 5, func(cl *Coll, p *sim.Proc) {
+		all := cl.AllGather(p.ID()*10, 8)
+		if len(all) != 5 {
+			t.Fatalf("gathered %d", len(all))
+		}
+		for q, v := range all {
+			if v.(int) != q*10 {
+				t.Errorf("slot %d = %v", q, v)
+			}
+		}
+	})
+}
+
+func TestAllReduce(t *testing.T) {
+	spmd(t, 4, func(cl *Coll, p *sim.Proc) {
+		x := float64(p.ID() + 1)
+		if s := cl.AllReduceFloat(x, "sum"); s != 10 {
+			t.Errorf("sum = %v", s)
+		}
+		if m := cl.AllReduceFloat(x, "max"); m != 4 {
+			t.Errorf("max = %v", m)
+		}
+		if m := cl.AllReduceFloat(x, "min"); m != 1 {
+			t.Errorf("min = %v", m)
+		}
+	})
+}
+
+func TestRepeatedCollectives(t *testing.T) {
+	spmd(t, 3, func(cl *Coll, p *sim.Proc) {
+		for round := 0; round < 10; round++ {
+			got := cl.AllReduceFloat(float64(round), "max")
+			if got != float64(round) {
+				t.Fatalf("round %d: %v", round, got)
+			}
+			cl.Barrier()
+		}
+	})
+}
+
+func TestUnknownReduceOpPanics(t *testing.T) {
+	// Two procs: the root's combine must fold at least one remote value,
+	// which is where an unknown op is detected.
+	e := sim.NewEngine(sim.Config{Seed: 1})
+	for i := 0; i < 2; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *sim.Proc) {
+			cl := New(dmcs.New(p))
+			cl.AllReduceFloat(1, "median")
+		})
+	}
+	if err := e.Run(); err == nil {
+		t.Fatal("unknown op should panic and surface via Run")
+	}
+}
+
+func TestStaggeredCollectivesBufferAcrossSequence(t *testing.T) {
+	// A fast proc races two collectives ahead of a slow root worker; the
+	// root must buffer early contributions by sequence.
+	spmd(t, 3, func(cl *Coll, p *sim.Proc) {
+		for round := 0; round < 5; round++ {
+			if p.ID() == 2 {
+				// Slow participant.
+				p.Advance(100*sim.Millisecond, sim.CatCompute)
+			}
+			sum := cl.AllReduceFloat(1, "sum")
+			if sum != 3 {
+				t.Errorf("round %d: sum %v", round, sum)
+			}
+		}
+	})
+}

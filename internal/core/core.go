@@ -1,0 +1,140 @@
+// Package core is the public face of PREMA — the Parallel Runtime
+// Environment for Multicomputer Applications, the paper's primary
+// contribution. It assembles the three substrate layers into the runtime an
+// application codes against:
+//
+//   - dmcs: single-sided active-message communication (§4, bullet 1),
+//   - mol: global name space, transparent migration, message forwarding
+//     (§4, bullets 2-3),
+//   - ilb: the load balancing framework and policy suite (§4, bullets 4-5),
+//
+// An application decomposes its domain into more subdomains than
+// processors, registers each as a mobile object, and drives all computation
+// through messages to mobile pointers; the runtime schedules, balances, and
+// migrates behind the scenes. See examples/quickstart for the paper's
+// Figure 2 tree-walk example written against this API.
+package core
+
+import (
+	"prema/internal/dmcs"
+	"prema/internal/ilb"
+	"prema/internal/mol"
+	"prema/internal/sim"
+)
+
+// Options configures a per-processor PREMA runtime instance.
+type Options struct {
+	// LB configures the scheduler and the explicit/implicit balancing mode.
+	LB ilb.Config
+	// Mol configures the mobile object layer cost model and routing.
+	Mol mol.Config
+	// Policy constructs this processor's load balancing policy. nil selects
+	// no load balancing. Every processor must construct the same policy
+	// type (SPMD discipline).
+	Policy ilb.Policy
+}
+
+// DefaultOptions returns the options used by the paper's experiments for
+// the given balancing mode.
+func DefaultOptions(mode ilb.Mode) Options {
+	return Options{
+		LB:  ilb.DefaultConfig(mode),
+		Mol: mol.DefaultConfig(),
+	}
+}
+
+// Runtime is one processor's PREMA endpoint.
+type Runtime struct {
+	p *sim.Proc
+	c *dmcs.Comm
+	l *mol.Layer
+	s *ilb.Scheduler
+
+	hStop dmcs.HandlerID
+}
+
+// NewRuntime builds the PREMA stack on a simulated processor. As with every
+// layer in this repository, all processors must call NewRuntime (and then
+// register handlers) in the same order.
+func NewRuntime(p *sim.Proc, opt Options) *Runtime {
+	c := dmcs.New(p)
+	l := mol.New(c, opt.Mol)
+	pol := opt.Policy
+	if pol == nil {
+		pol = ilb.NopPolicy{}
+	}
+	s := ilb.New(l, opt.LB, pol)
+	r := &Runtime{p: p, c: c, l: l, s: s}
+	r.hStop = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+		s.Stop()
+	})
+	return r
+}
+
+// Proc returns the underlying simulated processor.
+func (r *Runtime) Proc() *sim.Proc { return r.p }
+
+// Comm returns the raw active-message endpoint for application-level AM use.
+func (r *Runtime) Comm() *dmcs.Comm { return r.c }
+
+// Mol returns the mobile object layer.
+func (r *Runtime) Mol() *mol.Layer { return r.l }
+
+// Scheduler returns the ILB scheduler.
+func (r *Runtime) Scheduler() *ilb.Scheduler { return r.s }
+
+// RegisterHandler installs an application message handler for mobile
+// objects; registration order must match on all processors.
+func (r *Runtime) RegisterHandler(h mol.ObjHandler) mol.HandlerID {
+	return r.l.RegisterHandler(h)
+}
+
+// Register installs data as a mobile object homed here and returns its
+// mobile pointer (the paper's mol_register).
+func (r *Runtime) Register(data any, size int) mol.MobilePtr {
+	return r.l.Register(data, size)
+}
+
+// Message sends a work-unit message to a mobile object (the paper's
+// ilb_message): handler h runs at the object's current host when scheduled,
+// wherever the object has migrated. weight is the hinted computational
+// weight in seconds.
+func (r *Runtime) Message(mp mol.MobilePtr, h mol.HandlerID, data any, size int, weight float64) {
+	r.s.Message(mp, h, data, size, weight)
+}
+
+// RegisterReader installs a remote-read extractor (see mol.RegisterReader);
+// SPMD registration order applies.
+func (r *Runtime) RegisterReader(rd mol.Reader) int { return r.l.RegisterReader(rd) }
+
+// Get requests a read of a mobile object wherever it lives; done runs here
+// with the value (the MOL's consistent remote data access).
+func (r *Runtime) Get(mp mol.MobilePtr, reader int, done func(value any)) {
+	r.l.Get(mp, reader, done)
+}
+
+// Compute consumes application CPU inside a work-unit handler; in implicit
+// mode it is preempted by the polling thread (see ilb.Scheduler.Compute).
+func (r *Runtime) Compute(d sim.Time) { r.s.Compute(d) }
+
+// Poll is the application-posted polling operation.
+func (r *Runtime) Poll() { r.s.Poll() }
+
+// Run drives the scheduler until Stop (or a StopAll broadcast) is seen.
+func (r *Runtime) Run() { r.s.Run() }
+
+// Stop stops this processor's scheduler.
+func (r *Runtime) Stop() { r.s.Stop() }
+
+// StopAll broadcasts termination to every processor (including this one).
+// Typically called by the processor that detects global completion.
+func (r *Runtime) StopAll() {
+	n := r.p.Engine().NumProcs()
+	for i := 0; i < n; i++ {
+		if i == r.p.ID() {
+			continue
+		}
+		r.c.SendTagged(i, r.hStop, nil, 8, sim.TagSystem)
+	}
+	r.s.Stop()
+}

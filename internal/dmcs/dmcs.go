@@ -1,0 +1,131 @@
+// Package dmcs implements PREMA's Data Movement and Communication Substrate:
+// a single-sided, Active-Messages-style communication layer (Barker et al.,
+// "Data movement and control substrate for parallel adaptive applications",
+// Concurrency P&E 2002; von Eicken et al., ISCA 1992).
+//
+// A message names a handler to run at the destination; handlers execute when
+// the destination polls (there are no matching receives). Handlers are
+// registered per processor, and every processor must register the same
+// handlers in the same order so that handler IDs agree across the machine —
+// exactly the SPMD registration discipline of the C library.
+package dmcs
+
+import "prema/internal/sim"
+
+// HandlerID names a registered active-message handler.
+type HandlerID int
+
+// Handler is an active-message handler. It runs on the destination
+// processor's simulated context (it may compute, send, and poll), with src
+// the sending processor and data/size the payload.
+type Handler func(c *Comm, src int, data any, size int)
+
+// Comm is a processor-local communication endpoint.
+type Comm struct {
+	p        *sim.Proc
+	handlers []Handler
+	// DispatchCPU is charged (to sim.CatCallback) around every handler
+	// invocation, modeling the user-level dispatch cost of the AM layer.
+	DispatchCPU sim.Time
+}
+
+// New wraps a simulated processor in a DMCS endpoint.
+func New(p *sim.Proc) *Comm {
+	return &Comm{p: p, DispatchCPU: 2 * sim.Microsecond}
+}
+
+// Proc returns the underlying simulated processor.
+func (c *Comm) Proc() *sim.Proc { return c.p }
+
+// Register installs h and returns its ID. Registration order must match on
+// every processor.
+func (c *Comm) Register(h Handler) HandlerID {
+	c.handlers = append(c.handlers, h)
+	return HandlerID(len(c.handlers) - 1)
+}
+
+// Send posts a single-sided active message: handler h runs at dst with the
+// given payload once dst polls. Size models the payload's wire size. The
+// send charges the sender's per-message CPU overhead.
+func (c *Comm) Send(dst int, h HandlerID, data any, size int) {
+	c.SendTagged(dst, h, data, size, sim.TagApp)
+}
+
+// SendTagged is Send with an explicit traffic-class tag. Load balancer
+// traffic uses sim.TagSystem so it can be drained preemptively by PREMA's
+// polling thread without touching application messages.
+func (c *Comm) SendTagged(dst int, h HandlerID, data any, size int, tag int) {
+	c.p.Send(&sim.Msg{
+		Dst:  dst,
+		Kind: int(h),
+		Tag:  tag,
+		Data: data,
+		Size: size,
+	}, sim.CatMessaging)
+}
+
+// dispatch runs the handler named by m.
+func (c *Comm) dispatch(m *sim.Msg) {
+	if c.DispatchCPU > 0 {
+		c.p.Advance(c.DispatchCPU, sim.CatCallback)
+	}
+	c.handlers[m.Kind](c, m.Src, m.Data, m.Size)
+}
+
+// Poll receives and dispatches every queued message, returning the number
+// dispatched. This is the explicit polling operation of the PREMA model:
+// both application- and system-generated messages are processed.
+func (c *Comm) Poll() int {
+	n := 0
+	for {
+		m := c.p.TryRecv(sim.CatMessaging)
+		if m == nil {
+			return n
+		}
+		c.dispatch(m)
+		n++
+	}
+}
+
+// PollOne dispatches at most one queued message.
+func (c *Comm) PollOne() bool {
+	m := c.p.TryRecv(sim.CatMessaging)
+	if m == nil {
+		return false
+	}
+	c.dispatch(m)
+	return true
+}
+
+// PollTag dispatches every queued message carrying tag, leaving other
+// traffic untouched. It returns the number dispatched. PollTag with
+// sim.TagSystem is the core of implicit (preemptive) load balancing: the
+// polling thread drains balancer messages without delivering application
+// messages, preserving PREMA's single-threaded application model (§4.2).
+func (c *Comm) PollTag(tag int) int {
+	n := 0
+	for {
+		m := c.p.TryRecvTag(tag, sim.CatMessaging)
+		if m == nil {
+			return n
+		}
+		c.dispatch(m)
+		n++
+	}
+}
+
+// WaitPoll blocks until at least one message is queued (attributing the wait
+// to cat, normally sim.CatIdle), then polls everything queued.
+func (c *Comm) WaitPoll(cat sim.Category) int {
+	c.p.WaitMsg(cat)
+	return c.Poll()
+}
+
+// WaitPollFor blocks until a message arrives or d elapses, then polls.
+// It returns the number of messages dispatched.
+func (c *Comm) WaitPollFor(d sim.Time, cat sim.Category) int {
+	if !c.p.WaitMsgFor(d, cat) {
+		return 0
+	}
+	return c.Poll()
+}

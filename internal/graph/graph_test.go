@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 3)
+	b.AddEdge(0, 1, 1) // accumulates to 3
+	b.AddEdge(2, 2, 9) // self loop ignored
+	b.SetVWgt(3, 7)
+	g := b.Build()
+	if g.NumVertices() != 4 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatalf("degrees wrong")
+	}
+	var w01 int32
+	g.Neighbors(0, func(u int, w int32) {
+		if u == 1 {
+			w01 = w
+		}
+	})
+	if w01 != 3 {
+		t.Fatalf("edge weight = %d", w01)
+	}
+	if g.TotalVWgt() != 1+1+1+7 {
+		t.Fatalf("total vwgt = %d", g.TotalVWgt())
+	}
+	if g.Size(0) != 1 {
+		t.Fatal("default size should be 1")
+	}
+}
+
+func TestEdgeCutAndWeights(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(2, 3, 4)
+	b.AddEdge(1, 2, 1)
+	g := b.Build()
+	part := []int{0, 0, 1, 1}
+	if cut := EdgeCut(g, part); cut != 1 {
+		t.Fatalf("cut = %d", cut)
+	}
+	w := PartWeights(g, part, 2)
+	if w[0] != 2 || w[1] != 2 {
+		t.Fatalf("weights = %v", w)
+	}
+	if im := Imbalance(g, part, 2); im != 1.0 {
+		t.Fatalf("imbalance = %v", im)
+	}
+	if mv := MoveVolume(g, part, []int{0, 1, 1, 1}); mv != 1 {
+		t.Fatalf("move volume = %d", mv)
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	g := Grid3D(3, 3, 3)
+	if g.NumVertices() != 27 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Corner has degree 3; center has degree 6.
+	if g.Degree(0) != 3 {
+		t.Fatalf("corner degree = %d", g.Degree(0))
+	}
+	center := (1*3+1)*3 + 1
+	if g.Degree(center) != 6 {
+		t.Fatalf("center degree = %d", g.Degree(center))
+	}
+	// Total directed edges = 2 * undirected; grid has 3*(3*3*2) = 54 edges.
+	if len(g.Adjncy) != 108 {
+		t.Fatalf("adjncy len = %d", len(g.Adjncy))
+	}
+}
+
+// Property: built CSR is symmetric with matching weights.
+func TestCSRSymmetryProperty(t *testing.T) {
+	f := func(edges []struct{ U, V uint8 }) bool {
+		const n = 32
+		b := NewBuilder(n)
+		for _, e := range edges {
+			b.AddEdge(int(e.U%n), int(e.V%n), 1)
+		}
+		g := b.Build()
+		for v := 0; v < n; v++ {
+			ok := true
+			g.Neighbors(v, func(u int, w int32) {
+				var back int32
+				g.Neighbors(u, func(x int, wx int32) {
+					if x == v {
+						back = wx
+					}
+				})
+				if back != w {
+					ok = false
+				}
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	b := NewBuilder(40)
+	for i := 39; i >= 1; i-- {
+		b.AddEdge(0, i, 1)
+	}
+	g := b.Build()
+	prev := int32(-1)
+	for i := g.Xadj[0]; i < g.Xadj[1]; i++ {
+		if g.Adjncy[i] <= prev {
+			t.Fatal("adjacency not sorted")
+		}
+		prev = g.Adjncy[i]
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 5, 1)
+}
+
+func TestMoveVolumeUsesVSize(t *testing.T) {
+	b := NewBuilder(3)
+	g := b.Build()
+	g.VSize = []int64{10, 20, 30}
+	mv := MoveVolume(g, []int{0, 0, 0}, []int{1, 0, 1})
+	if mv != 40 {
+		t.Fatalf("move volume = %d", mv)
+	}
+	if g.Size(2) != 30 {
+		t.Fatal("size accessor")
+	}
+}
+
+func TestImbalanceEmptyGraph(t *testing.T) {
+	g := (&Builder{}).Build()
+	_ = g
+	b := NewBuilder(0)
+	g0 := b.Build()
+	if im := Imbalance(g0, nil, 2); im != 1 {
+		t.Fatalf("empty imbalance = %v", im)
+	}
+}
+
+func TestQuicksortLargeAdjacency(t *testing.T) {
+	// Exercise the quicksort path (>24 neighbors).
+	b := NewBuilder(64)
+	for i := 63; i >= 1; i-- {
+		b.AddEdge(0, i, 1)
+	}
+	g := b.Build()
+	prev := int32(-1)
+	g.Neighbors(0, func(u int, w int32) {
+		if int32(u) <= prev {
+			t.Fatalf("unsorted at %d", u)
+		}
+		prev = int32(u)
+	})
+	if g.Degree(0) != 63 {
+		t.Fatalf("degree = %d", g.Degree(0))
+	}
+}

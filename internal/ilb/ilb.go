@@ -1,0 +1,432 @@
+// Package ilb implements PREMA's load balancing framework (Barker,
+// Chernikov, Chrisochoides, Pingali — "Architecture and evaluation of a load
+// balancing framework for adaptive and asynchronous applications", IEEE TPDS
+// 2003): a message-driven work-unit scheduler over the mobile object layer,
+// with pluggable load balancing policies and two dissemination/decision
+// modes:
+//
+//   - Explicit: load balancer messages are received and acted upon only at
+//     application-posted polling operations — between work units.
+//   - Implicit (preemptive): a polling thread wakes at a fixed period even
+//     while a work unit is computing, drains system-tagged (load balancer)
+//     messages, and lets the policy act immediately. Application messages
+//     stay queued until an application poll, preserving the single-threaded
+//     programming model (paper §4.2).
+package ilb
+
+import (
+	"math"
+
+	"prema/internal/dmcs"
+	"prema/internal/mol"
+	"prema/internal/sim"
+)
+
+// Mode selects how load balancer messages get processed.
+type Mode int
+
+const (
+	// Explicit processes balancer traffic only at application polls.
+	Explicit Mode = iota
+	// Implicit preempts running work units at PollInterval to process
+	// balancer traffic.
+	Implicit
+)
+
+func (m Mode) String() string {
+	if m == Implicit {
+		return "implicit"
+	}
+	return "explicit"
+}
+
+// Config tunes the scheduler.
+type Config struct {
+	// Mode is the dissemination/decision mode (see Mode).
+	Mode Mode
+	// WaterMark is the estimated-load threshold (seconds of hinted work)
+	// below which the policy's OnLowLoad fires in explicit mode. In implicit
+	// mode the water-mark is de-emphasized (paper §4.2): balancing triggers
+	// when the processor begins its last queued unit, whatever the hints say.
+	WaterMark float64
+	// PollInterval is the implicit-mode polling thread period.
+	PollInterval sim.Time
+	// PollCost is the CPU cost of one polling-thread wake-up.
+	PollCost sim.Time
+	// ScheduleCPU is scheduler bookkeeping charged per executed unit.
+	ScheduleCPU sim.Time
+	// IdleTick bounds how long an idle processor blocks before re-engaging
+	// the policy.
+	IdleTick sim.Time
+	// PollEvery is how many work units the application executes between
+	// posted polling operations while it has work (it always polls when
+	// idle). 1 (the default) polls between every unit; larger values model
+	// applications whose well-tuned inner loops hand control to the runtime
+	// only occasionally — the regime where explicit load balancing decays
+	// and preemptive (implicit) processing shines (paper §§3-4).
+	PollEvery int
+}
+
+// DefaultConfig returns the configuration used in the experiments.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:         mode,
+		WaterMark:    10,
+		PollInterval: 10 * sim.Millisecond,
+		PollCost:     4 * sim.Microsecond,
+		ScheduleCPU:  3 * sim.Microsecond,
+		IdleTick:     50 * sim.Millisecond,
+		PollEvery:    1,
+	}
+}
+
+// Unit is one schedulable work unit: an in-order mol message waiting to run
+// its handler on a local object.
+type Unit struct {
+	Obj *mol.Object
+	Env *mol.Envelope
+	// stolen marks units packed into a migration; the dequeuer skips them.
+	stolen bool
+}
+
+// Weight returns the unit's hinted computational weight in seconds.
+func (u *Unit) Weight() float64 { return u.Env.Weight }
+
+// Stats counts scheduler activity on one processor.
+type Stats struct {
+	UnitsRun      int
+	UnitsEnqueued int
+	UnitsStolenIn int
+	PollWakes     int
+}
+
+// Policy is a pluggable dynamic load balancing strategy. Implementations
+// register their own system-message handlers in Setup (identical
+// registration order across processors, as everywhere in the stack).
+type Policy interface {
+	Name() string
+	// Setup is called once per processor before the run starts.
+	Setup(s *Scheduler)
+	// OnLowLoad fires when the local estimated load crosses below the
+	// water-mark (explicit mode) or when the processor starts its last
+	// queued unit (implicit mode).
+	OnLowLoad(s *Scheduler)
+	// OnIdle fires when the processor has no local work at all.
+	OnIdle(s *Scheduler)
+	// OnPoll fires at every application-posted poll; periodic policies
+	// (diffusion, multilist reposting) hang their timers here.
+	OnPoll(s *Scheduler)
+}
+
+// NopPolicy is a Policy that never balances (the "no load balancing"
+// baseline).
+type NopPolicy struct{}
+
+// Name implements Policy.
+func (NopPolicy) Name() string { return "none" }
+
+// Setup implements Policy.
+func (NopPolicy) Setup(*Scheduler) {}
+
+// OnLowLoad implements Policy.
+func (NopPolicy) OnLowLoad(*Scheduler) {}
+
+// OnIdle implements Policy.
+func (NopPolicy) OnIdle(*Scheduler) {}
+
+// OnPoll implements Policy.
+func (NopPolicy) OnPoll(*Scheduler) {}
+
+// Scheduler is the processor-local ILB runtime: it owns the work-unit queue,
+// drives polling, executes units, and invokes the policy.
+type Scheduler struct {
+	l      *mol.Layer
+	c      *dmcs.Comm
+	p      *sim.Proc
+	cfg    Config
+	policy Policy
+
+	queue     []*Unit
+	qhead     int
+	load      float64 // sum of hinted weights of queued (unstolen) units
+	current   *Unit   // unit whose handler is executing, if any
+	sincePoll int     // units executed since the last posted poll
+	stopped   bool
+
+	Stats Stats
+}
+
+// New builds a scheduler over a MOL endpoint and wires the MOL delivery sink
+// and migration hooks to the scheduler's queue.
+func New(l *mol.Layer, cfg Config, policy Policy) *Scheduler {
+	s := &Scheduler{l: l, c: l.Comm(), p: l.Proc(), cfg: cfg, policy: policy}
+	l.SetDeliver(func(_ *mol.Layer, obj *mol.Object, env *mol.Envelope) {
+		s.enqueue(&Unit{Obj: obj, Env: env})
+	})
+	l.OnMigrateOut = func(obj *mol.Object) any {
+		return s.packUnits(obj)
+	}
+	l.OnMigrateIn = func(obj *mol.Object, extra any) {
+		if extra == nil {
+			return
+		}
+		for _, env := range extra.([]*mol.Envelope) {
+			s.Stats.UnitsStolenIn++
+			s.enqueue(&Unit{Obj: obj, Env: env})
+		}
+	}
+	policy.Setup(s)
+	return s
+}
+
+// Mol returns the underlying mobile object layer.
+func (s *Scheduler) Mol() *mol.Layer { return s.l }
+
+// Comm returns the underlying DMCS endpoint.
+func (s *Scheduler) Comm() *dmcs.Comm { return s.c }
+
+// Proc returns the underlying simulated processor.
+func (s *Scheduler) Proc() *sim.Proc { return s.p }
+
+// Config returns the scheduler configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// WaterMark returns the current balancing threshold (hinted seconds).
+func (s *Scheduler) WaterMark() float64 { return s.cfg.WaterMark }
+
+// SetWaterMark adjusts the balancing threshold at runtime. The paper (§4.2)
+// proposes deriving it from platform-measured response latencies instead of
+// asking the application to guess; policy.WorkStealing's AutoWaterMark mode
+// drives this setter from observed steal round-trip times.
+func (s *Scheduler) SetWaterMark(v float64) { s.cfg.WaterMark = v }
+
+// Policy returns the active load balancing policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Stopped reports whether Stop has been called.
+func (s *Scheduler) Stopped() bool { return s.stopped }
+
+// Message sends a work-unit message to the object named by mp: handler h
+// runs at the object's current host when the scheduler there picks the unit.
+// weight is the hinted computational weight in seconds (may be inaccurate —
+// that is the adaptive regime the framework is built for).
+func (s *Scheduler) Message(mp mol.MobilePtr, h mol.HandlerID, data any, size int, weight float64) {
+	s.l.MessageWeighted(mp, h, data, size, sim.TagApp, weight)
+}
+
+func (s *Scheduler) enqueue(u *Unit) {
+	s.queue = append(s.queue, u)
+	s.load += u.Weight()
+	s.Stats.UnitsEnqueued++
+}
+
+// dequeue pops the oldest unstolen unit, or nil.
+func (s *Scheduler) dequeue() *Unit {
+	for s.qhead < len(s.queue) {
+		u := s.queue[s.qhead]
+		s.queue[s.qhead] = nil
+		s.qhead++
+		if s.qhead == len(s.queue) {
+			s.queue = s.queue[:0]
+			s.qhead = 0
+		}
+		if u.stolen {
+			continue
+		}
+		s.load -= u.Weight()
+		return u
+	}
+	return nil
+}
+
+// QueueLen returns the number of queued, unstolen units.
+func (s *Scheduler) QueueLen() int {
+	n := 0
+	for _, u := range s.queue[s.qhead:] {
+		if u != nil && !u.stolen {
+			n++
+		}
+	}
+	return n
+}
+
+// Load returns the estimated queued load in hinted seconds. The executing
+// unit is excluded: once started it cannot migrate, so it is not balanceable
+// load.
+func (s *Scheduler) Load() float64 { return math.Max(s.load, 0) }
+
+// Executing reports whether a work unit handler is currently running.
+func (s *Scheduler) Executing() bool { return s.current != nil }
+
+// CurrentObject returns the object whose unit is executing, or mol.Nil.
+func (s *Scheduler) CurrentObject() mol.MobilePtr {
+	if s.current == nil {
+		return mol.Nil
+	}
+	return s.current.Obj.MP
+}
+
+// StealableObjects returns distinct locally resident objects that have
+// queued (unstolen) work, newest-queued first — the natural donation order
+// for a victim (oldest work stays local, freshest work migrates).
+func (s *Scheduler) StealableObjects() []*mol.Object {
+	var out []*mol.Object
+	seen := make(map[mol.MobilePtr]bool)
+	for i := len(s.queue) - 1; i >= s.qhead; i-- {
+		u := s.queue[i]
+		if u == nil || u.stolen {
+			continue
+		}
+		if s.current != nil && u.Obj == s.current.Obj {
+			continue // executing object cannot migrate
+		}
+		if !seen[u.Obj.MP] {
+			seen[u.Obj.MP] = true
+			out = append(out, u.Obj)
+		}
+	}
+	return out
+}
+
+// QueuedWeight returns the hinted weight queued for one object.
+func (s *Scheduler) QueuedWeight(obj *mol.Object) float64 {
+	w := 0.0
+	for _, u := range s.queue[s.qhead:] {
+		if u != nil && !u.stolen && u.Obj == obj {
+			w += u.Weight()
+		}
+	}
+	return w
+}
+
+// packUnits extracts all queued units targeting obj for migration.
+func (s *Scheduler) packUnits(obj *mol.Object) []*mol.Envelope {
+	var envs []*mol.Envelope
+	for _, u := range s.queue[s.qhead:] {
+		if u != nil && !u.stolen && u.Obj == obj {
+			u.stolen = true
+			s.load -= u.Weight()
+			envs = append(envs, u.Env)
+		}
+	}
+	return envs
+}
+
+// Stop makes Run return after the current iteration. Typically invoked from
+// a system-message handler carrying the application's termination broadcast.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Poll is the application-posted polling operation (paper §4): it receives
+// and processes all pending messages (application work-unit messages are
+// enqueued; system messages invoke the policy), then evaluates the local
+// load level against the water-mark.
+func (s *Scheduler) Poll() {
+	s.c.Poll()
+	if s.stopped {
+		return
+	}
+	s.policy.OnPoll(s)
+	s.checkLoad()
+}
+
+func (s *Scheduler) checkLoad() {
+	if s.stopped {
+		return
+	}
+	switch s.cfg.Mode {
+	case Explicit:
+		if s.Load() < s.cfg.WaterMark {
+			s.policy.OnLowLoad(s)
+		}
+	case Implicit:
+		if s.QueueLen() == 0 {
+			s.policy.OnLowLoad(s)
+		}
+	}
+}
+
+// Compute consumes d of application computation time. Application work-unit
+// handlers must use Compute rather than raw Proc.Advance: in implicit mode
+// Compute interleaves the polling thread, which preemptively drains
+// system-tagged balancer messages every PollInterval.
+func (s *Scheduler) Compute(d sim.Time) {
+	if s.cfg.Mode == Explicit || s.cfg.PollInterval <= 0 {
+		s.p.Advance(d, sim.CatCompute)
+		return
+	}
+	for d > 0 {
+		slice := s.cfg.PollInterval
+		if slice > d {
+			slice = d
+		}
+		s.p.Advance(slice, sim.CatCompute)
+		d -= slice
+		if d > 0 {
+			s.pollThread()
+		}
+	}
+}
+
+// pollThread is one wake-up of the implicit-mode polling thread.
+func (s *Scheduler) pollThread() {
+	s.Stats.PollWakes++
+	if s.cfg.PollCost > 0 {
+		s.p.Advance(s.cfg.PollCost, sim.CatPollThread)
+	}
+	s.c.PollTag(sim.TagSystem)
+}
+
+// execute runs one work unit to completion.
+func (s *Scheduler) execute(u *Unit) {
+	if s.cfg.ScheduleCPU > 0 {
+		s.p.Advance(s.cfg.ScheduleCPU, sim.CatScheduling)
+	}
+	s.current = u
+	s.Stats.UnitsRun++
+	s.l.Dispatch(u.Obj, u.Env)
+	s.current = nil
+}
+
+// Step performs one scheduler iteration: poll, then run one unit if
+// available, otherwise report idleness to the policy and block briefly.
+// It returns false once the scheduler has been stopped.
+func (s *Scheduler) Step() bool {
+	if s.stopped {
+		return false
+	}
+	every := s.cfg.PollEvery
+	if every < 1 {
+		every = 1
+	}
+	if s.sincePoll >= every || s.QueueLen() == 0 {
+		s.sincePoll = 0
+		s.Poll()
+	}
+	if s.stopped {
+		return false
+	}
+	if u := s.dequeue(); u != nil {
+		// Implicit mode de-emphasizes the water-mark: balancing starts the
+		// moment the processor begins its LAST queued unit (paper §4.2), so
+		// replacement work can arrive while that unit still computes.
+		if s.cfg.Mode == Implicit && s.QueueLen() == 0 {
+			s.policy.OnLowLoad(s)
+		}
+		s.execute(u)
+		s.sincePoll++
+		s.checkLoad()
+		return true
+	}
+	s.policy.OnIdle(s)
+	if s.stopped {
+		return false
+	}
+	s.c.WaitPollFor(s.cfg.IdleTick, sim.CatIdle)
+	return true
+}
+
+// Run drives the scheduler until Stop is called.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}

@@ -1,0 +1,53 @@
+package mesh
+
+// Decompose splits the domain into nx*ny*nz box subdomains (the regular
+// octree-style decomposition the parallel mesher distributes as mobile
+// objects; the paper's application decomposes the domain into many more
+// subdomains than processors).
+func Decompose(domain Box, nx, ny, nz int) []Box {
+	s := domain.Size()
+	out := make([]Box, 0, nx*ny*nz)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				lo := Vec3{
+					domain.Lo.X + s.X*float64(i)/float64(nx),
+					domain.Lo.Y + s.Y*float64(j)/float64(ny),
+					domain.Lo.Z + s.Z*float64(k)/float64(nz),
+				}
+				hi := Vec3{
+					domain.Lo.X + s.X*float64(i+1)/float64(nx),
+					domain.Lo.Y + s.Y*float64(j+1)/float64(ny),
+					domain.Lo.Z + s.Z*float64(k+1)/float64(nz),
+				}
+				out = append(out, Box{Lo: lo, Hi: hi})
+			}
+		}
+	}
+	return out
+}
+
+// Neighbors returns index pairs of face-adjacent subdomains in the
+// decomposition grid, for building the subdomain adjacency graph used by
+// repartitioners.
+func Neighbors(nx, ny, nz int) [][2]int {
+	idx := func(i, j, k int) int { return (k*ny+j)*nx + i }
+	var out [][2]int
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				v := idx(i, j, k)
+				if i+1 < nx {
+					out = append(out, [2]int{v, idx(i+1, j, k)})
+				}
+				if j+1 < ny {
+					out = append(out, [2]int{v, idx(i, j+1, k)})
+				}
+				if k+1 < nz {
+					out = append(out, [2]int{v, idx(i, j, k+1)})
+				}
+			}
+		}
+	}
+	return out
+}

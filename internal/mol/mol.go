@@ -1,0 +1,431 @@
+// Package mol implements PREMA's Mobile Object Layer (Chrisochoides et al.,
+// "Mobile object layer: a runtime substrate for parallel adaptive and
+// irregular computations", Advances in Engineering Software 2000).
+//
+// The MOL provides a global name space: application data objects register as
+// mobile objects identified by a MobilePtr that stays valid as the object
+// migrates between processors. Messages target mobile pointers; the layer
+// routes them to the object's current host, forwarding along the migration
+// chain when the sender's cached location is stale, and it preserves the
+// order of messages from any one origin to any one object by sequencing and
+// reorder-buffering. Migration is transparent: in-flight and future messages
+// reach the object at its new host without application involvement.
+package mol
+
+import (
+	"fmt"
+	"sort"
+
+	"prema/internal/dmcs"
+	"prema/internal/sim"
+)
+
+// MobilePtr is a location-independent name for a mobile object: the
+// processor the object was registered on (its home, which runs the directory
+// entry for the object) plus a home-local index.
+type MobilePtr struct {
+	Home  int
+	Index int
+}
+
+// Nil is the null mobile pointer (mol_mobile_ptr_is_null in the paper's API).
+var Nil = MobilePtr{Home: -1}
+
+// IsNil reports whether mp is the null mobile pointer.
+func (mp MobilePtr) IsNil() bool { return mp.Home < 0 }
+
+// String renders the pointer as home:index.
+func (mp MobilePtr) String() string {
+	if mp.IsNil() {
+		return "mol:nil"
+	}
+	return fmt.Sprintf("mol:%d:%d", mp.Home, mp.Index)
+}
+
+// HandlerID names an object-message handler registered with RegisterHandler.
+type HandlerID int
+
+// ObjHandler is the application-defined routine a mol message invokes at its
+// target object. src is the originating processor.
+type ObjHandler func(l *Layer, obj *Object, src int, data any, size int)
+
+// Object is an installed mobile object.
+type Object struct {
+	MP   MobilePtr
+	Data any
+	// Size is the modeled serialized size in bytes; it prices migration.
+	Size int
+	// Weight is the object's current computational weight estimate, used by
+	// load balancing policies. The MOL itself never reads it.
+	Weight float64
+
+	// expect holds, per origin processor, the sequence number of the next
+	// in-order message; held and future messages sit in hold until their
+	// turn. Both structures migrate with the object.
+	expect map[int]uint64
+	hold   map[holdKey]*Envelope
+}
+
+type holdKey struct {
+	origin int
+	seq    uint64
+}
+
+// Envelope is a message in the mobile-object name space.
+type Envelope struct {
+	MP      MobilePtr
+	Handler HandlerID
+	Data    any
+	Size    int
+	Tag     int
+	Origin  int
+	Seq     uint64
+	Hops    int // forwarding hops taken so far
+	// Weight is the sender's estimate of the computational weight (in
+	// seconds) of handling this message — the "programmer-supplied hint" of
+	// the paper's taxonomy. The MOL carries it; the ILB scheduler reads it.
+	Weight float64
+}
+
+// Stats counts MOL activity on one processor.
+type Stats struct {
+	MessagesSent   int
+	MessagesLocal  int
+	Delivered      int
+	Forwards       int
+	Held           int // messages that had to wait in the reorder buffer
+	MigrationsOut  int
+	MigrationsIn   int
+	LocationNotify int
+}
+
+// DeliverFunc receives in-order messages for locally installed objects.
+// The default delivery dispatches the registered handler immediately; the
+// ILB layer overrides it to enqueue schedulable work units.
+type DeliverFunc func(l *Layer, obj *Object, env *Envelope)
+
+// Config tunes the layer's cost model and routing behaviour.
+type Config struct {
+	// ForwardCPU is charged on a processor that forwards a misdelivered
+	// message toward the object's current location.
+	ForwardCPU sim.Time
+	// MigrateFixed is the fixed payload overhead of a migration message,
+	// added to Object.Size.
+	MigrateFixed int
+	// NotifyOrigin, when true, makes a forwarding processor send the
+	// message's origin a location-cache update so later sends short-cut the
+	// chain. When false, stale caches keep paying forwarding hops
+	// (benchmarked as an ablation).
+	NotifyOrigin bool
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		ForwardCPU:   5 * sim.Microsecond,
+		MigrateFixed: 64,
+		NotifyOrigin: true,
+	}
+}
+
+// Layer is the processor-local mobile object layer endpoint.
+type Layer struct {
+	c   *dmcs.Comm
+	cfg Config
+
+	objects   map[MobilePtr]*Object
+	lastKnown map[MobilePtr]int // best-guess location for non-local objects
+	nextIndex int
+	nextSeq   map[MobilePtr]uint64 // per-destination sequence for local sends
+
+	handlers []ObjHandler
+	deliver  DeliverFunc
+
+	// OnMigrateOut, if set, is invoked as an object leaves this processor;
+	// its return value travels with the migration and is handed to
+	// OnMigrateIn at the destination. The ILB layer uses this pair to carry
+	// the object's pending work units.
+	OnMigrateOut func(obj *Object) any
+	OnMigrateIn  func(obj *Object, extra any)
+
+	hEnvelope dmcs.HandlerID
+	hMigrate  dmcs.HandlerID
+	hLocation dmcs.HandlerID
+
+	// Remote data access state (access.go).
+	accessReady bool
+	readers     []Reader
+	getPending  map[uint64]func(any)
+	getSeq      uint64
+	hGetReq     HandlerID
+	hGetReply   dmcs.HandlerID
+
+	Stats Stats
+}
+
+type migration struct {
+	obj   *Object
+	extra any
+}
+
+type locationUpdate struct {
+	mp  MobilePtr
+	loc int
+}
+
+// New builds a MOL endpoint over a DMCS endpoint. As with dmcs.Comm,
+// construction (and handler registration) order must match across
+// processors.
+func New(c *dmcs.Comm, cfg Config) *Layer {
+	l := &Layer{
+		c:         c,
+		cfg:       cfg,
+		objects:   make(map[MobilePtr]*Object),
+		lastKnown: make(map[MobilePtr]int),
+		nextSeq:   make(map[MobilePtr]uint64),
+	}
+	l.deliver = func(l *Layer, obj *Object, env *Envelope) {
+		l.Dispatch(obj, env)
+	}
+	l.hEnvelope = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+		l.arrive(data.(*Envelope))
+	})
+	l.hMigrate = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+		l.migrateIn(src, data.(*migration))
+	})
+	l.hLocation = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+		u := data.(*locationUpdate)
+		if _, local := l.objects[u.mp]; !local {
+			l.lastKnown[u.mp] = u.loc
+		}
+	})
+	return l
+}
+
+// Comm returns the underlying DMCS endpoint.
+func (l *Layer) Comm() *dmcs.Comm { return l.c }
+
+// Proc returns the underlying simulated processor.
+func (l *Layer) Proc() *sim.Proc { return l.c.Proc() }
+
+// SetDeliver overrides the in-order delivery sink (see DeliverFunc).
+func (l *Layer) SetDeliver(d DeliverFunc) { l.deliver = d }
+
+// Dispatch invokes env's registered handler on obj. Delivery sinks that
+// queue envelopes (like the ILB scheduler) call this when the work unit is
+// finally scheduled.
+func (l *Layer) Dispatch(obj *Object, env *Envelope) {
+	l.handlers[env.Handler](l, obj, env.Origin, env.Data, env.Size)
+}
+
+// RegisterHandler installs an object-message handler; registration order
+// must match on every processor.
+func (l *Layer) RegisterHandler(h ObjHandler) HandlerID {
+	l.handlers = append(l.handlers, h)
+	return HandlerID(len(l.handlers) - 1)
+}
+
+// Register installs data as a new mobile object homed on this processor and
+// returns its mobile pointer.
+func (l *Layer) Register(data any, size int) MobilePtr {
+	mp := MobilePtr{Home: l.Proc().ID(), Index: l.nextIndex}
+	l.nextIndex++
+	l.install(&Object{
+		MP:     mp,
+		Data:   data,
+		Size:   size,
+		expect: make(map[int]uint64),
+		hold:   make(map[holdKey]*Envelope),
+	})
+	return mp
+}
+
+func (l *Layer) install(obj *Object) {
+	l.objects[obj.MP] = obj
+	delete(l.lastKnown, obj.MP)
+}
+
+// Lookup returns the locally installed object for mp, or nil if mp is not
+// resident here.
+func (l *Layer) Lookup(mp MobilePtr) *Object { return l.objects[mp] }
+
+// Local returns the locally installed objects (in unspecified order).
+func (l *Layer) Local() map[MobilePtr]*Object { return l.objects }
+
+// bestGuess returns where this processor believes mp currently lives.
+func (l *Layer) bestGuess(mp MobilePtr) int {
+	if _, ok := l.objects[mp]; ok {
+		return l.Proc().ID()
+	}
+	if loc, ok := l.lastKnown[mp]; ok {
+		return loc
+	}
+	return mp.Home // the home processor always has a directory entry
+}
+
+// Message sends an application message to the object named by mp, invoking
+// handler h at the object's current host. Message order from this processor
+// to mp is preserved across migrations.
+func (l *Layer) Message(mp MobilePtr, h HandlerID, data any, size int) {
+	l.MessageTagged(mp, h, data, size, sim.TagApp)
+}
+
+// MessageTagged is Message with an explicit traffic-class tag.
+func (l *Layer) MessageTagged(mp MobilePtr, h HandlerID, data any, size int, tag int) {
+	l.MessageWeighted(mp, h, data, size, tag, 0)
+}
+
+// MessageWeighted is MessageTagged with a computational weight hint carried
+// to the scheduler at the object's host.
+func (l *Layer) MessageWeighted(mp MobilePtr, h HandlerID, data any, size int, tag int, weight float64) {
+	if mp.IsNil() {
+		panic("mol: message to nil mobile pointer")
+	}
+	env := &Envelope{
+		MP:      mp,
+		Handler: h,
+		Data:    data,
+		Size:    size,
+		Tag:     tag,
+		Origin:  l.Proc().ID(),
+		Seq:     l.nextSeq[mp],
+		Weight:  weight,
+	}
+	l.nextSeq[mp]++
+	if _, local := l.objects[mp]; local {
+		l.Stats.MessagesLocal++
+		l.arrive(env)
+		return
+	}
+	l.Stats.MessagesSent++
+	l.c.SendTagged(l.bestGuess(mp), l.hEnvelope, env, size+envelopeHeader, tag)
+}
+
+// envelopeHeader models the wire overhead of a mol envelope in bytes.
+const envelopeHeader = 48
+
+// arrive processes an envelope reaching this processor: deliver in order if
+// the object is resident, otherwise forward toward the current location.
+func (l *Layer) arrive(env *Envelope) {
+	obj, ok := l.objects[env.MP]
+	if !ok {
+		l.forward(env)
+		return
+	}
+	want := obj.expect[env.Origin]
+	switch {
+	case env.Seq == want:
+		l.deliverInOrder(obj, env)
+	case env.Seq > want:
+		l.Stats.Held++
+		obj.hold[holdKey{env.Origin, env.Seq}] = env
+	default:
+		panic(fmt.Sprintf("mol: duplicate delivery %s seq %d from %d", env.MP, env.Seq, env.Origin))
+	}
+}
+
+func (l *Layer) deliverInOrder(obj *Object, env *Envelope) {
+	obj.expect[env.Origin] = env.Seq + 1
+	l.Stats.Delivered++
+	l.deliver(l, obj, env)
+	// Drain any held successors from the same origin.
+	for {
+		next, ok := obj.hold[holdKey{env.Origin, obj.expect[env.Origin]}]
+		if !ok {
+			return
+		}
+		delete(obj.hold, holdKey{env.Origin, next.Seq})
+		obj.expect[env.Origin] = next.Seq + 1
+		l.Stats.Delivered++
+		l.deliver(l, obj, next)
+	}
+}
+
+// forward relays a misdelivered envelope toward the object's current host
+// and, when configured, tells the origin about the better location.
+func (l *Layer) forward(env *Envelope) {
+	l.Stats.Forwards++
+	env.Hops++
+	if env.Hops > 1<<16 {
+		panic("mol: forwarding loop for " + env.MP.String())
+	}
+	if l.cfg.ForwardCPU > 0 {
+		l.Proc().Advance(l.cfg.ForwardCPU, sim.CatMessaging)
+	}
+	next := l.bestGuess(env.MP)
+	if next == l.Proc().ID() {
+		// Stale self-reference: fall back to the home directory.
+		next = env.MP.Home
+	}
+	l.c.SendTagged(next, l.hEnvelope, env, env.Size+envelopeHeader, env.Tag)
+	if l.cfg.NotifyOrigin && env.Origin != l.Proc().ID() && next != env.Origin {
+		l.Stats.LocationNotify++
+		l.c.SendTagged(env.Origin, l.hLocation, &locationUpdate{env.MP, next}, 16, sim.TagSystem)
+	}
+}
+
+// Migrate uninstalls the locally resident object mp and transfers it (data,
+// reorder state, and any OnMigrateOut extra such as queued work units) to
+// processor dst. Messages that keep arriving here are forwarded. The home
+// directory is updated asynchronously.
+func (l *Layer) Migrate(mp MobilePtr, dst int) error {
+	obj, ok := l.objects[mp]
+	if !ok {
+		return fmt.Errorf("mol: migrate of non-resident object %s", mp)
+	}
+	if dst == l.Proc().ID() {
+		return nil
+	}
+	delete(l.objects, mp)
+	l.lastKnown[mp] = dst
+	l.Stats.MigrationsOut++
+	var extra any
+	if l.OnMigrateOut != nil {
+		extra = l.OnMigrateOut(obj)
+	}
+	size := obj.Size + l.cfg.MigrateFixed + 16*len(obj.hold)
+	l.c.SendTagged(dst, l.hMigrate, &migration{obj: obj, extra: extra}, size, sim.TagSystem)
+	return nil
+}
+
+// migrateIn installs an arriving object and re-runs held envelopes.
+func (l *Layer) migrateIn(src int, m *migration) {
+	obj := m.obj
+	l.Stats.MigrationsIn++
+	l.install(obj)
+	if l.OnMigrateIn != nil {
+		l.OnMigrateIn(obj, m.extra)
+	}
+	// Tell the home directory where the object now lives (unless it came
+	// home or it is already here).
+	if obj.MP.Home != l.Proc().ID() {
+		l.c.SendTagged(obj.MP.Home, l.hLocation, &locationUpdate{obj.MP, l.Proc().ID()}, 16, sim.TagSystem)
+	}
+	// Some held envelopes may now be deliverable (e.g. their predecessors
+	// were consumed before migration).
+	l.drainHold(obj)
+}
+
+func (l *Layer) drainHold(obj *Object) {
+	// Deterministic order: origins sorted ascending (map iteration order
+	// would leak host randomness into the simulation).
+	origins := make(map[int]bool, len(obj.hold))
+	for k := range obj.hold {
+		origins[k.origin] = true
+	}
+	sorted := make([]int, 0, len(origins))
+	for o := range origins {
+		sorted = append(sorted, o)
+	}
+	sort.Ints(sorted)
+	for _, origin := range sorted {
+		for {
+			env, ok := obj.hold[holdKey{origin, obj.expect[origin]}]
+			if !ok {
+				break
+			}
+			delete(obj.hold, holdKey{origin, env.Seq})
+			l.deliverInOrder(obj, env)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package parmetis
+
+import (
+	"testing"
+
+	"prema/internal/graph"
+	"prema/internal/partition"
+)
+
+// adaptiveScenario builds an 8x8 grid, partitions it into k balanced parts
+// under uniform weights, then "refines" a corner region (weight spike) to
+// create the adaptive imbalance AdaptiveRepart must fix.
+func adaptiveScenario(k int) (*graph.Graph, []int) {
+	g := graph.Grid3D(8, 8, 1)
+	old := partition.Partition(g, k, partition.Options{Seed: 2})
+	for v := 0; v < g.NumVertices(); v++ {
+		x, y := v%8, v/8
+		if x < 3 && y < 3 {
+			g.VWgt[v] = 20 // refinement spike
+		}
+	}
+	return g, old
+}
+
+func TestAdaptiveRepartRestoresBalance(t *testing.T) {
+	g, old := adaptiveScenario(4)
+	if im := graph.Imbalance(g, old, 4); im < 1.5 {
+		t.Fatalf("scenario not imbalanced enough: %.2f", im)
+	}
+	newPart := AdaptiveRepart(g, 4, old, DefaultOptions())
+	if im := graph.Imbalance(g, newPart, 4); im > 1.15 {
+		t.Fatalf("repartition imbalance %.3f (weights %v)", im, graph.PartWeights(g, newPart, 4))
+	}
+	// Old assignment untouched.
+	if &newPart[0] == &old[0] {
+		t.Fatal("returned slice aliases input")
+	}
+}
+
+func TestAlphaTradesCutForMovement(t *testing.T) {
+	g, old := adaptiveScenario(4)
+	cheapMove := DefaultOptions()
+	cheapMove.Alpha = 0.01
+	dearMove := DefaultOptions()
+	dearMove.Alpha = 100
+	a := AdaptiveRepart(g, 4, old, cheapMove)
+	b := AdaptiveRepart(g, 4, old, dearMove)
+	movA := graph.MoveVolume(g, old, a)
+	movB := graph.MoveVolume(g, old, b)
+	if movB > movA {
+		t.Fatalf("high alpha moved more data: %d vs %d", movB, movA)
+	}
+}
+
+func TestRemapMinimizesMovement(t *testing.T) {
+	g := graph.Grid3D(4, 4, 1)
+	old := make([]int, 16)
+	for v := range old {
+		if v%4 >= 2 {
+			old[v] = 1
+		}
+	}
+	// A scratch partition identical to old but with labels swapped: remap
+	// must undo the swap, making movement zero.
+	scratch := make([]int, 16)
+	for v := range scratch {
+		scratch[v] = 1 - old[v]
+	}
+	remap(g, old, scratch, 2)
+	if mv := graph.MoveVolume(g, old, scratch); mv != 0 {
+		t.Fatalf("remap left move volume %d", mv)
+	}
+}
+
+func TestCostFunction(t *testing.T) {
+	g := graph.Grid3D(2, 2, 1)
+	old := []int{0, 0, 1, 1}
+	same := []int{0, 0, 1, 1}
+	flip := []int{1, 1, 0, 0}
+	if Cost(g, old, same, 1) != float64(graph.EdgeCut(g, same)) {
+		t.Fatal("no-move cost should equal edge cut")
+	}
+	if Cost(g, old, flip, 1) != float64(graph.EdgeCut(g, flip))+4 {
+		t.Fatalf("flip cost = %v", Cost(g, old, flip, 1))
+	}
+}
+
+func TestAdaptiveRepartTrivialCases(t *testing.T) {
+	g := graph.Grid3D(4, 4, 1)
+	old := make([]int, 16)
+	out := AdaptiveRepart(g, 1, old, DefaultOptions())
+	for _, p := range out {
+		if p != 0 {
+			t.Fatal("k=1 must stay in part 0")
+		}
+	}
+}
+
+func TestAdaptiveRepartDeterministic(t *testing.T) {
+	g, old := adaptiveScenario(4)
+	a := AdaptiveRepart(g, 4, old, DefaultOptions())
+	b := AdaptiveRepart(g, 4, old, DefaultOptions())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic repartition")
+		}
+	}
+}
+
+func TestUnifiedObjectiveBeatsPureScratch(t *testing.T) {
+	// With a meaningful alpha, AdaptiveRepart should not cost more (under
+	// the unified objective) than a from-scratch partition without remap.
+	g, old := adaptiveScenario(4)
+	opt := DefaultOptions()
+	opt.Alpha = 1.0
+	ura := AdaptiveRepart(g, 4, old, opt)
+	scratch := partition.Partition(g, 4, opt.Part)
+	if Cost(g, old, ura, opt.Alpha) > Cost(g, old, scratch, opt.Alpha) {
+		t.Fatalf("URA cost %.1f > raw scratch cost %.1f",
+			Cost(g, old, ura, opt.Alpha), Cost(g, old, scratch, opt.Alpha))
+	}
+}
+
+// TestMultilevelHierarchyPath forces several coarsening levels so the
+// project-down/refine-up machinery runs through its full depth.
+func TestMultilevelHierarchyPath(t *testing.T) {
+	g := graph.Grid3D(16, 16, 2) // 512 vertices
+	old := partition.Partition(g, 8, partition.Options{Seed: 4})
+	// Spike one corner.
+	for v := 0; v < g.NumVertices(); v++ {
+		if v%16 < 4 && (v/16)%16 < 4 {
+			g.VWgt[v] = 15
+		}
+	}
+	opt := DefaultOptions()
+	opt.Part.CoarsenTo = 4 // force a deep hierarchy (4*k=32 coarse target)
+	newPart := AdaptiveRepart(g, 8, old, opt)
+	if im := graph.Imbalance(g, newPart, 8); im > 1.25 {
+		t.Fatalf("deep-hierarchy repartition imbalance %.3f", im)
+	}
+	for _, p := range newPart {
+		if p < 0 || p >= 8 {
+			t.Fatalf("invalid part %d", p)
+		}
+	}
+}
+
+// TestVSizeWeighting: vertices with larger migration sizes should move less
+// under a high Relative Cost Factor.
+func TestVSizeWeighting(t *testing.T) {
+	g := graph.Grid3D(8, 8, 1)
+	g.VSize = make([]int64, g.NumVertices())
+	for v := range g.VSize {
+		g.VSize[v] = 1
+		if v < 16 {
+			g.VSize[v] = 100 // first two rows are very expensive to move
+		}
+	}
+	old := partition.Partition(g, 4, partition.Options{Seed: 6})
+	for v := 0; v < g.NumVertices(); v++ {
+		if v%8 < 2 {
+			g.VWgt[v] = 10
+		}
+	}
+	opt := DefaultOptions()
+	opt.Alpha = 50
+	newPart := AdaptiveRepart(g, 4, old, opt)
+	movedExpensive := 0
+	for v := 0; v < 16; v++ {
+		if newPart[v] != old[v] {
+			movedExpensive++
+		}
+	}
+	// The high alpha should keep most of the expensive vertices home.
+	if movedExpensive > 8 {
+		t.Fatalf("moved %d of 16 expensive vertices despite alpha=50", movedExpensive)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := &graph.Graph{Xadj: []int32{0}}
+	out := AdaptiveRepart(g, 4, nil, DefaultOptions())
+	if len(out) != 0 {
+		t.Fatalf("empty graph produced %v", out)
+	}
+}

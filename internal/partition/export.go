@@ -1,0 +1,37 @@
+package partition
+
+import (
+	"math/rand"
+
+	"prema/internal/graph"
+)
+
+// Level is one exported rung of a multilevel hierarchy: its graph and the
+// map from this level's vertices to the next-coarser level's vertices (nil
+// on the coarsest level).
+type Level struct {
+	g    *graph.Graph
+	cmap []int32
+}
+
+// Graph returns the level's graph.
+func (l Level) Graph() *graph.Graph { return l.g }
+
+// CMap returns the fine->coarse vertex map toward the next level (nil at
+// the coarsest level).
+func (l Level) CMap() []int32 { return l.cmap }
+
+// Coarsen builds a multilevel hierarchy by heavy-edge matching down to at
+// most target vertices. restrict, when non-nil, only allows matching
+// vertices with equal restrict labels (URA's local matching).
+func Coarsen(g *graph.Graph, target int, rng *rand.Rand, restrict []int) []Level {
+	levels := coarsen(g, target, rng, restrict)
+	out := make([]Level, len(levels))
+	for i, l := range levels {
+		out[i] = Level{g: l.g, cmap: l.cmap}
+	}
+	return out
+}
+
+// WithDefaults fills unset options with their defaults.
+func (o Options) WithDefaults() Options { return o.withDefaults() }

@@ -1,0 +1,249 @@
+// Package policy provides the dynamic load balancing strategies shipped with
+// PREMA: Work Stealing (the paper's featured policy, §4), Diffusion
+// (Cybenko, JPDC 1989), and Multi-list Scheduling (Wu, CMU PhD thesis 1993).
+// All are asynchronous: they exchange system-tagged messages within small
+// processor neighborhoods and never introduce global synchronization.
+package policy
+
+import (
+	"prema/internal/dmcs"
+	"prema/internal/ilb"
+	"prema/internal/sim"
+)
+
+// WSConfig tunes the work stealing policy.
+type WSConfig struct {
+	// MaxObjects caps how many mobile objects migrate per grant. 1 models
+	// particularly coarse-grained objects; larger values migrate several
+	// finer-grained objects at once (paper footnote 2).
+	MaxObjects int
+	// KeepFactor is the fraction of the victim's estimated load it must
+	// retain; a victim donates only down to KeepFactor*load, and never below
+	// one queued unit.
+	KeepFactor float64
+	// Backoff is how long a requester rests after a full unsuccessful sweep
+	// of potential victims.
+	Backoff sim.Time
+	// RequestSize/payload bytes for request and control messages.
+	RequestSize int
+	// AutoWaterMark, when true, continuously re-derives the scheduler's
+	// water-mark from measured steal response latencies: the threshold
+	// becomes Safety x the smoothed round-trip time, so requests go out
+	// early enough that replacement work arrives before the processor runs
+	// dry — the platform-determined threshold the paper proposes as future
+	// work (§4.2).
+	AutoWaterMark bool
+	// Safety is the AutoWaterMark multiplier (default 3).
+	Safety float64
+}
+
+// DefaultWSConfig returns the work stealing configuration used in the
+// experiments.
+func DefaultWSConfig() WSConfig {
+	return WSConfig{
+		MaxObjects:  4,
+		KeepFactor:  0.5,
+		Backoff:     250 * sim.Millisecond,
+		RequestSize: 32,
+	}
+}
+
+// WSStats counts work stealing activity on one processor.
+type WSStats struct {
+	Requests       int
+	GrantsReceived int
+	GrantsServed   int
+	NacksReceived  int
+	NacksServed    int
+	ObjectsSent    int
+}
+
+// WorkStealing implements the paper's featured ILB policy: an underloaded
+// processor asks a partner for work; the partner migrates mobile objects or
+// answers with a negative acknowledgement, in which case the requester picks
+// another partner. All traffic is system-tagged, so in implicit mode victims
+// answer from the polling thread in the middle of coarse work units — the
+// paper's key mechanism.
+type WorkStealing struct {
+	cfg WSConfig
+
+	partner      int
+	outstanding  bool
+	nacksInSweep int
+	backoffUntil sim.Time
+	requestedAt  sim.Time
+	rttEWMA      float64 // smoothed steal response latency, seconds
+
+	hRequest dmcs.HandlerID
+	hGrant   dmcs.HandlerID
+	hNack    dmcs.HandlerID
+
+	Stats WSStats
+}
+
+// NewWorkStealing returns a work stealing policy instance (one per
+// processor).
+func NewWorkStealing(cfg WSConfig) *WorkStealing {
+	if cfg.MaxObjects <= 0 {
+		cfg.MaxObjects = 1
+	}
+	return &WorkStealing{cfg: cfg}
+}
+
+// Name implements ilb.Policy.
+func (w *WorkStealing) Name() string { return "worksteal" }
+
+type stealRequest struct {
+	Load float64 // requester's estimated local load (hinted seconds)
+}
+
+// Setup implements ilb.Policy.
+func (w *WorkStealing) Setup(s *ilb.Scheduler) {
+	me := s.Proc().ID()
+	n := s.Proc().Engine().NumProcs()
+	// Initial pairing: partner with the adjacent processor (paper §4:
+	// "processors are paired with a single neighbor").
+	w.partner = me ^ 1
+	if w.partner >= n {
+		w.partner = (me + 1) % n
+	}
+	c := s.Comm()
+	w.hRequest = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+		w.serveRequest(s, src, data.(stealRequest))
+	})
+	w.hGrant = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+		w.Stats.GrantsReceived++
+		w.outstanding = false
+		w.nacksInSweep = 0
+		w.observeRTT(s)
+	})
+	w.hNack = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+		w.Stats.NacksReceived++
+		w.outstanding = false
+		w.nacksInSweep++
+		w.observeRTT(s)
+		w.advancePartner(s)
+		if w.nacksInSweep >= s.Proc().Engine().NumProcs()-1 {
+			// Full unsuccessful sweep: the machine looks empty; rest.
+			w.nacksInSweep = 0
+			w.backoffUntil = s.Proc().Now() + w.cfg.Backoff
+			return
+		}
+		w.maybeRequest(s)
+	})
+}
+
+// advancePartner picks the next steal victim after a refusal: a uniformly
+// random other processor. Randomization spreads concurrent requesters over
+// all potential victims instead of marching them in lock-step onto the same
+// one (deterministic via the engine RNG).
+func (w *WorkStealing) advancePartner(s *ilb.Scheduler) {
+	n := s.Proc().Engine().NumProcs()
+	if n <= 1 {
+		return
+	}
+	rng := s.Proc().Engine().Rand()
+	next := rng.Intn(n - 1)
+	if next >= s.Proc().ID() {
+		next++
+	}
+	w.partner = next
+}
+
+// maybeRequest issues a steal request if none is outstanding and the policy
+// is not backing off.
+func (w *WorkStealing) maybeRequest(s *ilb.Scheduler) {
+	if w.outstanding || s.Stopped() || s.Proc().Engine().NumProcs() <= 1 {
+		return
+	}
+	if s.Proc().Now() < w.backoffUntil {
+		return
+	}
+	w.outstanding = true
+	w.Stats.Requests++
+	w.requestedAt = s.Proc().Now()
+	s.Comm().SendTagged(w.partner, w.hRequest, stealRequest{Load: s.Load()}, w.cfg.RequestSize, sim.TagSystem)
+}
+
+// observeRTT folds one steal response latency into the smoothed estimate
+// and, in AutoWaterMark mode, re-derives the scheduler's threshold from it.
+func (w *WorkStealing) observeRTT(s *ilb.Scheduler) {
+	sample := (s.Proc().Now() - w.requestedAt).Seconds()
+	if w.rttEWMA == 0 {
+		w.rttEWMA = sample
+	} else {
+		w.rttEWMA = 0.8*w.rttEWMA + 0.2*sample
+	}
+	if !w.cfg.AutoWaterMark {
+		return
+	}
+	safety := w.cfg.Safety
+	if safety <= 0 {
+		safety = 3
+	}
+	s.SetWaterMark(safety * w.rttEWMA)
+}
+
+// RTT returns the smoothed steal response latency in seconds (0 before any
+// response has been observed).
+func (w *WorkStealing) RTT() float64 { return w.rttEWMA }
+
+// serveRequest runs at the victim (at a poll in explicit mode; from the
+// polling thread mid-unit in implicit mode).
+func (w *WorkStealing) serveRequest(s *ilb.Scheduler, src int, req stealRequest) {
+	donated := w.donate(s, src, req.Load)
+	if donated == 0 {
+		w.Stats.NacksServed++
+		s.Comm().SendTagged(src, w.hNack, nil, w.cfg.RequestSize, sim.TagSystem)
+		return
+	}
+	w.Stats.GrantsServed++
+	w.Stats.ObjectsSent += donated
+	s.Comm().SendTagged(src, w.hGrant, donated, w.cfg.RequestSize, sim.TagSystem)
+}
+
+// donate migrates up to MaxObjects queued objects toward equalizing the two
+// loads, returning how many objects moved.
+func (w *WorkStealing) donate(s *ilb.Scheduler, dst int, requesterLoad float64) int {
+	candidates := s.StealableObjects()
+	if len(candidates) <= 1 {
+		// Keep at least one queued unit locally: a victim that gives away
+		// its whole queue just swaps roles with the requester.
+		return 0
+	}
+	myLoad := s.Load()
+	target := (myLoad - requesterLoad) / 2
+	keep := myLoad * w.cfg.KeepFactor
+	if target <= 0 {
+		return 0
+	}
+	moved := 0
+	var sent float64
+	for _, obj := range candidates {
+		if moved >= w.cfg.MaxObjects || moved >= len(candidates)-1 {
+			break
+		}
+		wgt := s.QueuedWeight(obj)
+		if myLoad-sent-wgt < keep && moved > 0 {
+			break
+		}
+		if err := s.Mol().Migrate(obj.MP, dst); err != nil {
+			continue
+		}
+		sent += wgt
+		moved++
+		if sent >= target {
+			break
+		}
+	}
+	return moved
+}
+
+// OnLowLoad implements ilb.Policy.
+func (w *WorkStealing) OnLowLoad(s *ilb.Scheduler) { w.maybeRequest(s) }
+
+// OnIdle implements ilb.Policy.
+func (w *WorkStealing) OnIdle(s *ilb.Scheduler) { w.maybeRequest(s) }
+
+// OnPoll implements ilb.Policy.
+func (w *WorkStealing) OnPoll(s *ilb.Scheduler) {}

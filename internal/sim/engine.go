@@ -1,0 +1,215 @@
+// Package sim is a deterministic, process-oriented discrete-event simulator
+// of a distributed-memory cluster. It is the substrate on which this
+// repository reproduces the PREMA runtime and its baselines (ParMETIS-style
+// stop-and-repartition and a Charm++-style chare runtime).
+//
+// Each simulated processor is a goroutine, but at most one of them executes
+// at any instant: the engine and the processors hand control back and forth
+// over unbuffered channels, so a simulation is sequential, race-free, and —
+// together with the (time, seq)-ordered event heap and seeded RNG —
+// fully deterministic. Virtual time advances only through the cost model:
+// computation (Proc.Advance), message send/receive CPU overheads, and network
+// latency/bandwidth. This lets the harness reproduce the paper's
+// per-processor time breakdowns (idle, messaging, scheduling, callback,
+// polling-thread, partition-calculation, synchronization) on a laptop.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Network is the interconnect cost model.
+	Network NetworkConfig
+	// Seed seeds the engine's deterministic RNG.
+	Seed int64
+}
+
+// Engine owns virtual time, the event queue, the network, and the set of
+// simulated processors. Create one with NewEngine, add processors with
+// Spawn, then call Run.
+type Engine struct {
+	cfg     Config
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	procs   []*Proc
+	net     *network
+	rng     *rand.Rand
+	running *Proc
+	stopped bool
+	err     error
+
+	tracing bool
+	spans   []Span
+}
+
+// NewEngine returns an engine with the given configuration.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Network == (NetworkConfig{}) {
+		cfg.Network = DefaultNetwork()
+	}
+	return &Engine{
+		cfg: cfg,
+		net: newNetwork(cfg.Network),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from simulation context (event handlers and processor bodies).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// NumProcs returns the number of spawned processors.
+func (e *Engine) NumProcs() int { return len(e.procs) }
+
+// Proc returns processor i.
+func (e *Engine) Proc(i int) *Proc { return e.procs[i] }
+
+// After schedules fn to run d from now on the engine's event loop.
+func (e *Engine) After(d Time, fn func()) { e.at(d, fn) }
+
+func (e *Engine) at(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	e.heap.Push(&event{at: e.now + d, seq: e.seq, fire: fn})
+}
+
+// Stop ends the simulation after the currently firing event completes.
+// Remaining events are discarded and still-blocked processors are torn down.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Spawn creates a simulated processor whose behaviour is body. The processor
+// starts executing when virtual time reaches the moment of the Spawn call
+// (normally time zero, before Run). Processor IDs are assigned densely in
+// spawn order.
+func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		id:     len(e.procs),
+		name:   name,
+		eng:    e,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		if !p.killed {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if r == errKilled {
+							return
+						}
+						if e.err == nil {
+							e.err = fmt.Errorf("sim: processor %q panicked: %v\n%s", p.name, r, debug.Stack())
+						}
+					}
+				}()
+				body(p)
+			}()
+		}
+		p.done = true
+		p.finishedAt = e.now
+		p.parked <- struct{}{}
+	}()
+	e.at(0, func() { e.transfer(p) })
+	return p
+}
+
+// transfer hands the (single) thread of control to p until p blocks or
+// finishes. It must only be called from the engine's event loop; processors
+// never call it directly (Unpark schedules an event instead).
+func (e *Engine) transfer(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := e.running
+	e.running = p
+	p.resume <- struct{}{}
+	<-p.parked
+	e.running = prev
+}
+
+// ErrDeadlock is returned (wrapped) by Run when the event queue drains while
+// some processors are still blocked.
+var ErrDeadlock = errors.New("sim: deadlock")
+
+// Run executes the simulation until the event queue is empty, Stop is
+// called, or a processor panics. It returns an error on panic or deadlock
+// (event queue empty with processors still blocked).
+func (e *Engine) Run() error {
+	for e.err == nil && !e.stopped {
+		ev := e.heap.Pop()
+		if ev == nil {
+			break
+		}
+		if ev.at < e.now {
+			panic("sim: event scheduled in the past")
+		}
+		e.now = ev.at
+		ev.fire()
+	}
+	var stuck []string
+	for _, p := range e.procs {
+		if !p.done {
+			stuck = append(stuck, p.name)
+		}
+	}
+	e.teardown()
+	if e.err != nil {
+		return e.err
+	}
+	if len(stuck) > 0 && !e.stopped {
+		sort.Strings(stuck)
+		return fmt.Errorf("%w: %d processors still blocked: %s",
+			ErrDeadlock, len(stuck), strings.Join(stuck, ", "))
+	}
+	return nil
+}
+
+// teardown unwinds any still-blocked processor goroutines so they do not
+// leak past Run.
+func (e *Engine) teardown() {
+	for _, p := range e.procs {
+		if !p.done {
+			p.killed = true
+			e.transfer(p)
+		}
+	}
+}
+
+// deliver appends m to its destination inbox and wakes the destination if it
+// is blocked waiting for a message.
+func (e *Engine) deliver(m *Msg) {
+	p := e.procs[m.Dst]
+	m.ArrivedAt = e.now
+	p.inbox = append(p.inbox, m)
+	if p.blocked && p.waitingMsg {
+		p.waitGen++ // invalidate any pending wait timeout
+		e.transfer(p)
+	}
+}
+
+// Makespan returns the latest processor finish time. It is only meaningful
+// after Run returns.
+func (e *Engine) Makespan() Time {
+	var t Time
+	for _, p := range e.procs {
+		if p.finishedAt > t {
+			t = p.finishedAt
+		}
+	}
+	return t
+}

@@ -1,0 +1,82 @@
+package sim
+
+// event is a scheduled occurrence in virtual time. Events with equal
+// timestamps fire in scheduling order (seq), which keeps the simulation
+// deterministic.
+type event struct {
+	at   Time
+	seq  uint64
+	fire func()
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq). It is implemented
+// directly rather than through container/heap to avoid interface boxing on
+// the simulator's hottest path.
+type eventHeap struct {
+	ev []*event
+}
+
+func (h *eventHeap) Len() int { return len(h.ev) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.ev[i], h.ev[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Push inserts an event.
+func (h *eventHeap) Push(e *event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest event, or nil if the heap is empty.
+func (h *eventHeap) Pop() *event {
+	n := len(h.ev)
+	if n == 0 {
+		return nil
+	}
+	top := h.ev[0]
+	h.ev[0] = h.ev[n-1]
+	h.ev[n-1] = nil
+	h.ev = h.ev[:n-1]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.ev)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		i = smallest
+	}
+}
+
+// Peek returns the earliest event without removing it.
+func (h *eventHeap) Peek() *event {
+	if len(h.ev) == 0 {
+		return nil
+	}
+	return h.ev[0]
+}

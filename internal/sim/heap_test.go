@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestHeapOrderingProperty: popping all events from a heap built from any
+// sequence of push times yields a sequence sorted by (time, insertion seq).
+func TestHeapOrderingProperty(t *testing.T) {
+	f := func(times []int16) bool {
+		var h eventHeap
+		var seq uint64
+		for _, raw := range times {
+			seq++
+			tm := Time(raw)
+			if tm < 0 {
+				tm = -tm
+			}
+			h.Push(&event{at: tm, seq: seq})
+		}
+		var prev *event
+		for {
+			e := h.Pop()
+			if e == nil {
+				break
+			}
+			if prev != nil {
+				if e.at < prev.at || (e.at == prev.at && e.seq < prev.seq) {
+					return false
+				}
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h eventHeap
+	var seq uint64
+	var popped []Time
+	var lastPopped Time = -1
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(3) != 0 || h.Len() == 0 {
+			seq++
+			// Never schedule in the past relative to the last pop: mimics the
+			// engine's invariant.
+			at := lastPopped + Time(rng.Intn(100))
+			h.Push(&event{at: at, seq: seq})
+		} else {
+			e := h.Pop()
+			if e.at < lastPopped {
+				t.Fatalf("pop went backwards: %v after %v", e.at, lastPopped)
+			}
+			lastPopped = e.at
+			popped = append(popped, e.at)
+		}
+	}
+	for h.Len() > 0 {
+		popped = append(popped, h.Pop().at)
+	}
+	if !sort.SliceIsSorted(popped, func(i, j int) bool { return popped[i] < popped[j] }) {
+		t.Fatal("popped sequence not sorted")
+	}
+}
+
+func TestHeapPeek(t *testing.T) {
+	var h eventHeap
+	if h.Peek() != nil || h.Pop() != nil {
+		t.Fatal("empty heap should peek/pop nil")
+	}
+	h.Push(&event{at: 5, seq: 1})
+	h.Push(&event{at: 3, seq: 2})
+	if h.Peek().at != 3 {
+		t.Fatalf("peek = %v", h.Peek().at)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("len = %d", h.Len())
+	}
+}
+
+func TestNetworkFIFOProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		n := newNetwork(DefaultNetwork())
+		var now, last Time
+		for _, s := range sizes {
+			at := n.arrivalTime(now, 0, 1, int(s))
+			if at <= last && last != 0 {
+				return false
+			}
+			if at < now {
+				return false
+			}
+			last = at
+			now += Time(s) // sender moves forward a bit
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if (2 * Second).Seconds() != 2.0 {
+		t.Fatal("Seconds")
+	}
+	if (1500 * Microsecond).Millis() != 1.5 {
+		t.Fatal("Millis")
+	}
+	if Scale(10*Second, 0.5) != 5*Second {
+		t.Fatal("Scale")
+	}
+	if (1234 * Millisecond).String() != "1.234s" {
+		t.Fatalf("String = %s", (1234 * Millisecond).String())
+	}
+	if CatCompute.String() != "Computation" || Category(99).String() != "Unknown" {
+		t.Fatal("category names")
+	}
+}

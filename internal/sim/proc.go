@@ -1,0 +1,197 @@
+package sim
+
+import "errors"
+
+var errKilled = errors.New("sim: processor killed")
+
+// Proc is a simulated processor. A Proc's body function runs on its own
+// goroutine but only ever while the engine has handed it control, so bodies
+// may freely touch engine state (schedule events, send messages) without
+// synchronization.
+//
+// All methods that advance virtual time (Advance, Send, Recv*, Wait*) must be
+// called from the Proc's own body; calling them from another goroutine or
+// from an engine event handler corrupts the handoff protocol.
+type Proc struct {
+	id   int
+	name string
+	eng  *Engine
+
+	resume chan struct{} // engine -> proc: you have control
+	parked chan struct{} // proc -> engine: I blocked or finished
+
+	blocked    bool
+	waitingMsg bool
+	waitGen    uint64
+	killed     bool
+	done       bool
+	finishedAt Time
+
+	inbox []*Msg
+	acct  Account
+}
+
+// ID returns the processor's dense ID (spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the processor's name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Account returns the processor's time ledger. The pointer stays valid for
+// the lifetime of the simulation; read it after Run for final figures.
+func (p *Proc) Account() *Account { return &p.acct }
+
+// Charge adds virtual time to a category without advancing the clock. It is
+// used to re-attribute time (e.g. splitting a receive between messaging and
+// callback overhead); prefer Advance for real time consumption.
+func (p *Proc) Charge(cat Category, d Time) { p.acct[cat] += d }
+
+// yield returns control to the engine and blocks until reawakened.
+func (p *Proc) yield() {
+	p.parked <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(errKilled)
+	}
+}
+
+// park blocks the processor, attributing the blocked duration to cat.
+// The caller must have arranged for a wake-up (timer event or message
+// delivery) before calling park.
+func (p *Proc) park(cat Category) {
+	start := p.eng.now
+	p.blocked = true
+	p.yield()
+	p.blocked = false
+	p.acct[cat] += p.eng.now - start
+	p.eng.recordSpan(p.id, cat, start, p.eng.now)
+}
+
+// wakeIf resumes the processor if it is still in the wait generation gen.
+// Stale timers (superseded by a message arrival or a newer wait) fire as
+// no-ops.
+func (p *Proc) wakeIf(gen uint64) {
+	if p.done || !p.blocked || p.waitGen != gen {
+		return
+	}
+	p.eng.transfer(p)
+}
+
+// Advance consumes d of CPU time, attributed to cat. It models computation
+// (CatCompute), runtime bookkeeping (CatScheduling, CatCallback, ...), or any
+// other busy occupancy. Control returns after virtual time has advanced.
+func (p *Proc) Advance(d Time, cat Category) {
+	if d <= 0 {
+		return
+	}
+	p.waitGen++
+	gen := p.waitGen
+	p.eng.at(d, func() { p.wakeIf(gen) })
+	p.park(cat)
+}
+
+// Send transmits m across the simulated network, stamping Src and SentAt.
+// The sender is charged the per-message send CPU overhead against cat
+// (normally CatMessaging). Delivery is asynchronous and FIFO per (src,dst).
+func (p *Proc) Send(m *Msg, cat Category) {
+	m.Src = p.id
+	m.SentAt = p.eng.now
+	if o := p.eng.cfg.Network.SendCPU; o > 0 {
+		p.Advance(o, cat)
+	}
+	p.eng.post(m)
+}
+
+// post injects m into the network from engine context, charging no CPU.
+// It is used by Send after overhead accounting and by engine-side services.
+func (e *Engine) post(m *Msg) {
+	arrival := e.net.arrivalTime(e.now, m.Src, m.Dst, m.Size)
+	e.at(arrival-e.now, func() { e.deliver(m) })
+}
+
+// InboxLen returns the number of queued, undelivered-to-application messages.
+func (p *Proc) InboxLen() int { return len(p.inbox) }
+
+// HasMsg reports whether any queued message carries the given tag.
+func (p *Proc) HasMsg(tag int) bool {
+	for _, m := range p.inbox {
+		if m.Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// TryRecv pops the oldest queued message, charging receive CPU overhead to
+// cat. It returns nil when the inbox is empty.
+func (p *Proc) TryRecv(cat Category) *Msg {
+	if len(p.inbox) == 0 {
+		return nil
+	}
+	m := p.inbox[0]
+	p.inbox = p.inbox[1:]
+	if len(p.inbox) == 0 {
+		p.inbox = nil // let the backing array be reclaimed
+	}
+	if o := p.eng.cfg.Network.RecvCPU; o > 0 {
+		p.Advance(o, cat)
+	}
+	return m
+}
+
+// TryRecvTag pops the oldest queued message with the given tag, preserving
+// the relative order of the remaining messages. It returns nil when no such
+// message is queued. This implements PREMA's separation of system
+// (load-balancer) traffic from application traffic (§4.2 of the paper).
+func (p *Proc) TryRecvTag(tag int, cat Category) *Msg {
+	for i, m := range p.inbox {
+		if m.Tag == tag {
+			p.inbox = append(p.inbox[:i], p.inbox[i+1:]...)
+			if o := p.eng.cfg.Network.RecvCPU; o > 0 {
+				p.Advance(o, cat)
+			}
+			return m
+		}
+	}
+	return nil
+}
+
+// Recv blocks until a message is available and returns it, attributing
+// blocked time to waitCat (normally CatIdle) and receive overhead to
+// CatMessaging.
+func (p *Proc) Recv(waitCat Category) *Msg {
+	p.WaitMsg(waitCat)
+	return p.TryRecv(CatMessaging)
+}
+
+// WaitMsg blocks until at least one message is queued, attributing the wait
+// to cat.
+func (p *Proc) WaitMsg(cat Category) {
+	for len(p.inbox) == 0 {
+		p.waitGen++
+		p.waitingMsg = true
+		p.park(cat)
+		p.waitingMsg = false
+	}
+}
+
+// WaitMsgFor blocks until a message is queued or d elapses, attributing the
+// wait to cat. It reports whether a message is available.
+func (p *Proc) WaitMsgFor(d Time, cat Category) bool {
+	deadline := p.eng.now + d
+	for len(p.inbox) == 0 && p.eng.now < deadline {
+		p.waitGen++
+		gen := p.waitGen
+		p.eng.at(deadline-p.eng.now, func() { p.wakeIf(gen) })
+		p.waitingMsg = true
+		p.park(cat)
+		p.waitingMsg = false
+	}
+	return len(p.inbox) > 0
+}

@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// Span is one contiguous interval of a processor's time attributed to a
+// category — the raw material for Gantt-style timelines of a run (the
+// figures' stacked bars are these spans summed per processor).
+type Span struct {
+	Proc     int
+	Cat      Category
+	From, To Time
+}
+
+// EnableTracing starts recording spans. Tracing is off by default: a full
+// benchmark run produces millions of spans, so enable it only for runs you
+// intend to visualize.
+func (e *Engine) EnableTracing() { e.tracing = true }
+
+// Spans returns the recorded spans in chronological order of completion.
+func (e *Engine) Spans() []Span { return e.spans }
+
+// recordSpan appends a span when tracing is on. Zero-length spans are
+// dropped.
+func (e *Engine) recordSpan(proc int, cat Category, from, to Time) {
+	if !e.tracing || to == from {
+		return
+	}
+	e.spans = append(e.spans, Span{Proc: proc, Cat: cat, From: from, To: to})
+}
+
+// WriteSpansCSV emits the trace as CSV (proc, category, from_s, to_s).
+func (e *Engine) WriteSpansCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "proc,category,from,to"); err != nil {
+		return err
+	}
+	for _, s := range e.spans {
+		if _, err := fmt.Fprintf(w, "%d,%s,%.6f,%.6f\n", s.Proc, s.Cat, s.From.Seconds(), s.To.Seconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

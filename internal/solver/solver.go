@@ -1,0 +1,198 @@
+// Package solver implements the loosely synchronous substrate of the
+// paper's target applications: sparse iterative field solvers (§1, §6).
+// It provides a CSR sparse matrix, Jacobi relaxation, and conjugate
+// gradients, enough to drive the hybrid end-to-end experiment's solve
+// phases with real numerical work and residual reductions.
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// CSR is a square sparse matrix in compressed sparse row form.
+type CSR struct {
+	N      int
+	RowPtr []int32
+	Col    []int32
+	Val    []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// MulVec computes y = A x.
+func (m *CSR) MulVec(x, y []float64) {
+	for i := 0; i < m.N; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.Col[k]]
+		}
+		y[i] = s
+	}
+}
+
+// Diag extracts the diagonal of A (0 where absent).
+func (m *CSR) Diag() []float64 {
+	d := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if int(m.Col[k]) == i {
+				d[i] = m.Val[k]
+			}
+		}
+	}
+	return d
+}
+
+// Laplacian1D builds the n x n tridiagonal Poisson matrix
+// (2 on the diagonal, -1 off) — the classic model problem.
+func Laplacian1D(n int) *CSR {
+	m := &CSR{N: n, RowPtr: make([]int32, n+1)}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i] = int32(len(m.Val))
+		if i > 0 {
+			m.Col = append(m.Col, int32(i-1))
+			m.Val = append(m.Val, -1)
+		}
+		m.Col = append(m.Col, int32(i))
+		m.Val = append(m.Val, 2)
+		if i+1 < n {
+			m.Col = append(m.Col, int32(i+1))
+			m.Val = append(m.Val, -1)
+		}
+	}
+	m.RowPtr[n] = int32(len(m.Val))
+	return m
+}
+
+// Laplacian2D builds the 5-point Poisson matrix on an nx x ny grid.
+func Laplacian2D(nx, ny int) *CSR {
+	n := nx * ny
+	m := &CSR{N: n, RowPtr: make([]int32, n+1)}
+	idx := func(x, y int) int32 { return int32(y*nx + x) }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			i := int(idx(x, y))
+			m.RowPtr[i] = int32(len(m.Val))
+			add := func(c int32, v float64) {
+				m.Col = append(m.Col, c)
+				m.Val = append(m.Val, v)
+			}
+			if y > 0 {
+				add(idx(x, y-1), -1)
+			}
+			if x > 0 {
+				add(idx(x-1, y), -1)
+			}
+			add(idx(x, y), 4)
+			if x+1 < nx {
+				add(idx(x+1, y), -1)
+			}
+			if y+1 < ny {
+				add(idx(x, y+1), -1)
+			}
+		}
+	}
+	m.RowPtr[n] = int32(len(m.Val))
+	return m
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Residual computes r = b - A x and returns ||r||2.
+func Residual(a *CSR, x, b, r []float64) float64 {
+	a.MulVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	return Norm2(r)
+}
+
+// JacobiSweep performs one weighted Jacobi relaxation
+// x' = x + w D^-1 (b - A x), writing into x, and returns ||b - A x||2 as of
+// the start of the sweep (the residual a solver would reduce globally).
+func JacobiSweep(a *CSR, diag, x, b, scratch []float64, w float64) float64 {
+	res := Residual(a, x, b, scratch)
+	for i := range x {
+		if diag[i] != 0 {
+			x[i] += w * scratch[i] / diag[i]
+		}
+	}
+	return res
+}
+
+// Jacobi runs weighted Jacobi until the residual drops below tol*||b|| or
+// maxIters sweeps, returning the iteration count and final residual.
+func Jacobi(a *CSR, x, b []float64, w, tol float64, maxIters int) (int, float64) {
+	diag := a.Diag()
+	scratch := make([]float64, a.N)
+	bound := tol * Norm2(b)
+	res := 0.0
+	for it := 1; it <= maxIters; it++ {
+		res = JacobiSweep(a, diag, x, b, scratch, w)
+		if res <= bound {
+			return it, res
+		}
+	}
+	return maxIters, res
+}
+
+// CG solves A x = b for symmetric positive definite A by conjugate
+// gradients, returning iterations used and the final residual norm.
+func CG(a *CSR, x, b []float64, tol float64, maxIters int) (int, float64, error) {
+	n := a.N
+	if len(x) != n || len(b) != n {
+		return 0, 0, fmt.Errorf("solver: dimension mismatch")
+	}
+	r := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	a.MulVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+		p[i] = r[i]
+	}
+	rs := dot(r, r)
+	bound := tol * Norm2(b)
+	if math.Sqrt(rs) <= bound {
+		return 0, math.Sqrt(rs), nil
+	}
+	for it := 1; it <= maxIters; it++ {
+		a.MulVec(p, ap)
+		den := dot(p, ap)
+		if den == 0 {
+			return it, math.Sqrt(rs), fmt.Errorf("solver: CG breakdown")
+		}
+		alpha := rs / den
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rsNew := dot(r, r)
+		if math.Sqrt(rsNew) <= bound {
+			return it, math.Sqrt(rsNew), nil
+		}
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	return maxIters, math.Sqrt(rs), nil
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,156 @@
+package solver
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaplacian1DStructure(t *testing.T) {
+	a := Laplacian1D(5)
+	if a.N != 5 || a.NNZ() != 13 {
+		t.Fatalf("n=%d nnz=%d", a.N, a.NNZ())
+	}
+	d := a.Diag()
+	for _, v := range d {
+		if v != 2 {
+			t.Fatalf("diag = %v", d)
+		}
+	}
+	// A * ones: interior rows sum to 0, boundary rows to 1.
+	ones := []float64{1, 1, 1, 1, 1}
+	y := make([]float64, 5)
+	a.MulVec(ones, y)
+	want := []float64{1, 0, 0, 0, 1}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("A*1 = %v", y)
+		}
+	}
+}
+
+func TestLaplacian2DStructure(t *testing.T) {
+	a := Laplacian2D(3, 3)
+	if a.N != 9 {
+		t.Fatalf("n = %d", a.N)
+	}
+	d := a.Diag()
+	for _, v := range d {
+		if v != 4 {
+			t.Fatalf("diag = %v", d)
+		}
+	}
+	// Center row has 4 neighbors: nnz row length 5.
+	if a.RowPtr[5]-a.RowPtr[4] != 5 {
+		t.Fatalf("center row nnz = %d", a.RowPtr[5]-a.RowPtr[4])
+	}
+}
+
+func TestJacobiConverges(t *testing.T) {
+	a := Laplacian1D(32)
+	b := make([]float64, 32)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, 32)
+	iters, res := Jacobi(a, x, b, 0.8, 1e-8, 100000)
+	if res > 1e-8*Norm2(b) {
+		t.Fatalf("jacobi residual %v after %d iters", res, iters)
+	}
+	// Verify the solve: A x ≈ b.
+	y := make([]float64, 32)
+	a.MulVec(x, y)
+	for i := range y {
+		if math.Abs(y[i]-b[i]) > 1e-6 {
+			t.Fatalf("Ax[%d] = %v", i, y[i])
+		}
+	}
+}
+
+func TestCGSolvesPoisson2D(t *testing.T) {
+	a := Laplacian2D(12, 12)
+	n := a.N
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	x := make([]float64, n)
+	iters, res, err := CG(a, x, b, 1e-10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-10*Norm2(b) {
+		t.Fatalf("CG residual %v after %d iters", res, iters)
+	}
+	// CG on an SPD n-dim system converges in at most n steps.
+	if iters > n {
+		t.Fatalf("CG took %d > n=%d iterations", iters, n)
+	}
+}
+
+func TestCGMuchFasterThanJacobi(t *testing.T) {
+	a := Laplacian1D(128)
+	b := make([]float64, 128)
+	b[64] = 1
+	xj := make([]float64, 128)
+	xc := make([]float64, 128)
+	jIters, _ := Jacobi(a, xj, b, 0.8, 1e-6, 2000000)
+	cIters, _, err := CG(a, xc, b, 1e-6, 2000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cIters*10 > jIters {
+		t.Fatalf("CG (%d iters) should be far faster than Jacobi (%d)", cIters, jIters)
+	}
+}
+
+// TestJacobiResidualMonotone: for the weighted Jacobi on the SPD model
+// problem, residuals decrease monotonically from any start.
+func TestJacobiResidualMonotone(t *testing.T) {
+	f := func(raw []int8) bool {
+		a := Laplacian1D(16)
+		diag := a.Diag()
+		x := make([]float64, 16)
+		b := make([]float64, 16)
+		for i := range x {
+			if i < len(raw) {
+				x[i] = float64(raw[i]) / 8
+			}
+			b[i] = 1
+		}
+		scratch := make([]float64, 16)
+		prev := math.Inf(1)
+		for it := 0; it < 50; it++ {
+			res := JacobiSweep(a, diag, x, b, scratch, 0.66)
+			if res > prev*(1+1e-12) {
+				return false
+			}
+			prev = res
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidualAndNorm(t *testing.T) {
+	a := Laplacian1D(3)
+	x := []float64{1, 0, 0}
+	b := []float64{2, -1, 0}
+	r := make([]float64, 3)
+	// A x = (2,-1,0) exactly: residual 0.
+	if res := Residual(a, x, b, r); res != 0 {
+		t.Fatalf("residual = %v", res)
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Fatal("norm")
+	}
+}
+
+func TestCGDimensionMismatch(t *testing.T) {
+	a := Laplacian1D(4)
+	if _, _, err := CG(a, make([]float64, 3), make([]float64, 4), 1e-6, 10); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+}
