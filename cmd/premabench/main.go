@@ -4,19 +4,30 @@
 // Usage:
 //
 //	premabench -system prema-implicit -imbalance 0.5 -ratio 2.0 \
-//	           [-procs 128] [-units-per-proc 128] [-stride 8] [-hints mean]
+//	           [-procs 128] [-units-per-proc 128] [-stride 8] [-hints mean] \
+//	           [-backend sim|real] [-timescale 1e-3] [-spin]
 //
 // Systems: none, prema-explicit, prema-implicit, parmetis, charm,
 // charm-sync4 — plus prema-diffusion and prema-multilist for the policy
 // suite beyond the paper's featured work stealing.
+//
+// -backend selects the execution substrate: "sim" (default) runs the
+// deterministic discrete-event simulator; "real" runs the PREMA systems with
+// genuine parallelism, one goroutine per processor, burning scaled
+// wall-clock (-timescale wall seconds per virtual second; -spin busy-waits
+// instead of sleeping). The baseline system models (parmetis, charm*) are
+// simulator-only.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"prema/internal/bench"
+	"prema/internal/rtm"
+	"prema/internal/substrate"
 )
 
 func main() {
@@ -27,6 +38,9 @@ func main() {
 	upp := flag.Int("units-per-proc", 128, "work units per processor")
 	stride := flag.Int("stride", 8, "breakdown sampling stride (0 = summary only)")
 	hints := flag.String("hints", "mean", "weight hints given to balancers: mean | accurate")
+	backend := flag.String("backend", "sim", "execution substrate: sim (deterministic) | real (goroutines)")
+	timescale := flag.Float64("timescale", 1e-3, "real backend: wall seconds per virtual second")
+	spin := flag.Bool("spin", false, "real backend: busy-wait instead of sleeping")
 	flag.Parse()
 
 	w := bench.PaperWorkload(bench.FigureSpec{ID: 0, Imbalance: *imb, Ratio: *ratio}, *procs, *upp)
@@ -37,11 +51,33 @@ func main() {
 		r   *bench.Result
 		err error
 	)
-	switch *system {
-	case "prema-diffusion", "prema-multilist", "prema-worksteal":
-		r, err = bench.RunPremaPolicy(w, (*system)[len("prema-"):])
+	switch *backend {
+	case "sim":
+		switch *system {
+		case "prema-diffusion", "prema-multilist", "prema-worksteal":
+			r, err = bench.RunPremaPolicy(w, (*system)[len("prema-"):])
+		default:
+			r, err = bench.RunSystem(*system, w)
+		}
+	case "real":
+		if !strings.HasPrefix(*system, "prema") && *system != "none" {
+			fmt.Fprintf(os.Stderr, "system %q models a third-party runtime and is simulator-only; use -backend=sim\n", *system)
+			os.Exit(2)
+		}
+		cfg := rtm.DefaultConfig()
+		cfg.Seed = w.Seed
+		cfg.TimeScale = *timescale
+		cfg.Spin = *spin
+		var m substrate.Machine = rtm.New(cfg)
+		switch *system {
+		case "prema-diffusion", "prema-multilist", "prema-worksteal":
+			r, err = bench.RunPremaPolicyOn(m, w, (*system)[len("prema-"):])
+		default:
+			r, err = bench.RunSystemOn(*system, m, w)
+		}
 	default:
-		r, err = bench.RunSystem(*system, w)
+		fmt.Fprintf(os.Stderr, "unknown backend %q (want sim or real)\n", *backend)
+		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

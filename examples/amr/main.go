@@ -10,34 +10,49 @@
 // and PREMA with implicit (preemptive) load balancing — and prints the
 // makespans, reproducing the paper's core observation at laptop scale.
 //
-// Run: go run ./examples/amr
+// The refinement loop is written against substrate.Endpoint, so it runs
+// unchanged on the deterministic simulator (default) or on the
+// real-concurrency goroutine backend:
+//
+//	go run ./examples/amr                  # deterministic simulator
+//	go run ./examples/amr -backend=real    # goroutine backend
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 
 	"prema/internal/core"
 	"prema/internal/dmcs"
 	"prema/internal/ilb"
 	"prema/internal/mol"
 	"prema/internal/policy"
+	"prema/internal/rtm"
 	"prema/internal/sim"
+	"prema/internal/substrate"
 )
 
 const (
 	procs      = 8
 	subdomains = 64
 	iterations = 6
-	lightWork  = 40 * sim.Millisecond
-	heavyWork  = 640 * sim.Millisecond
+	lightWork  = 40 * substrate.Millisecond
+	heavyWork  = 640 * substrate.Millisecond
 	spikeSize  = 8 // subdomains inside the interesting region
+)
+
+var (
+	backend   = flag.String("backend", "sim", "execution substrate: sim (deterministic) | real (goroutines)")
+	timescale = flag.Float64("timescale", 1e-3, "real backend: wall seconds per virtual second")
+	spin      = flag.Bool("spin", false, "real backend: busy-wait instead of sleeping")
 )
 
 // weight returns the true refinement cost of a subdomain at an iteration:
 // a contiguous block of spikeSize subdomains (at a pseudo-random offset per
 // iteration) is 16x heavier than the rest.
-func weight(spikes []int, sub, iter int) sim.Time {
+func weight(spikes []int, sub, iter int) substrate.Time {
 	off := spikes[iter]
 	pos := sub - off
 	if pos < 0 {
@@ -49,16 +64,33 @@ func weight(spikes []int, sub, iter int) sim.Time {
 	return lightWork
 }
 
-func run(mode ilb.Mode) sim.Time {
+func newMachine() substrate.Machine {
+	switch *backend {
+	case "sim":
+		return sim.NewMachine(sim.Config{Seed: 4})
+	case "real":
+		cfg := rtm.DefaultConfig()
+		cfg.Seed = 4
+		cfg.TimeScale = *timescale
+		cfg.Spin = *spin
+		return rtm.New(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown backend %q (want sim or real)\n", *backend)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func run(mode ilb.Mode) substrate.Time {
 	rng := rand.New(rand.NewSource(3))
 	spikes := make([]int, iterations)
 	for i := range spikes {
 		spikes[i] = rng.Intn(subdomains)
 	}
 
-	e := sim.NewEngine(sim.Config{Seed: 4})
+	m := newMachine()
 	for p := 0; p < procs; p++ {
-		e.Spawn(fmt.Sprintf("p%d", p), func(proc *sim.Proc) {
+		m.Spawn(fmt.Sprintf("p%d", p), func(ep substrate.Endpoint) {
 			opts := core.DefaultOptions(mode)
 			opts.LB.WaterMark = 0.2
 			ws := policy.DefaultWSConfig()
@@ -68,7 +100,7 @@ func run(mode ilb.Mode) sim.Time {
 			// poll every 4 subdomain refinements. Explicit balancing decays;
 			// implicit balancing does not care.
 			opts.LB.PollEvery = 4
-			r := core.NewRuntime(proc, opts)
+			r := core.NewRuntime(ep, opts)
 
 			finished := 0
 			var hDone dmcs.HandlerID
@@ -91,10 +123,10 @@ func run(mode ilb.Mode) sim.Time {
 					r.Message(obj.MP, hRefine, iter+1, 16, w.Seconds())
 					return
 				}
-				r.Comm().SendTagged(0, hDone, nil, 8, sim.TagApp)
+				r.Comm().SendTagged(0, hDone, nil, 8, substrate.TagApp)
 			})
 			for sub := 0; sub < subdomains; sub++ {
-				if sub*procs/subdomains == proc.ID() {
+				if sub*procs/subdomains == ep.ID() {
 					mp := r.Register(sub, 32<<10)
 					r.Message(mp, hRefine, 0, 16, lightWork.Seconds())
 				}
@@ -102,17 +134,18 @@ func run(mode ilb.Mode) sim.Time {
 			r.Run()
 		})
 	}
-	if err := e.Run(); err != nil {
+	if err := m.Run(); err != nil {
 		panic(err)
 	}
-	return e.Makespan()
+	return m.Makespan()
 }
 
 func main() {
-	total := sim.Time(0)
+	flag.Parse()
+	total := substrate.Time(0)
 	// Ideal: all iterations' work spread perfectly.
-	perIter := sim.Time(spikeSize)*heavyWork + sim.Time(subdomains-spikeSize)*lightWork
-	total = sim.Time(iterations) * perIter
+	perIter := substrate.Time(spikeSize)*heavyWork + substrate.Time(subdomains-spikeSize)*lightWork
+	total = substrate.Time(iterations) * perIter
 	fmt.Printf("workload: %d subdomains x %d iterations, moving 16x spike; ideal %v on %d procs\n",
 		subdomains, iterations, total/procs, procs)
 

@@ -15,18 +15,28 @@
 // runtime is then free to migrate nodes for load balance; the traversal
 // code does not change.
 //
-// Run: go run ./examples/quickstart
+// The application body is written against substrate.Endpoint, so the same
+// code runs on the deterministic simulator (default) or with genuine
+// parallelism — one goroutine per processor — on the real-concurrency
+// backend:
+//
+//	go run ./examples/quickstart                  # deterministic simulator
+//	go run ./examples/quickstart -backend=real    # goroutine backend
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"prema/internal/core"
 	"prema/internal/dmcs"
 	"prema/internal/ilb"
 	"prema/internal/mol"
 	"prema/internal/policy"
+	"prema/internal/rtm"
 	"prema/internal/sim"
+	"prema/internal/substrate"
 )
 
 // treeNode is the application datum registered as a mobile object. Children
@@ -40,26 +50,49 @@ type treeNode struct {
 const (
 	procs     = 4
 	treeDepth = 6
-	nodeWork  = 50 * sim.Millisecond
+	nodeWork  = 50 * substrate.Millisecond
+	seed      = 7
 )
 
+func newMachine(backend string, timescale float64, spin bool) substrate.Machine {
+	switch backend {
+	case "sim":
+		return sim.NewMachine(sim.Config{Seed: seed})
+	case "real":
+		cfg := rtm.DefaultConfig()
+		cfg.Seed = seed
+		cfg.TimeScale = timescale
+		cfg.Spin = spin
+		return rtm.New(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown backend %q (want sim or real)\n", backend)
+		os.Exit(2)
+		return nil
+	}
+}
+
 func main() {
-	e := sim.NewEngine(sim.Config{Seed: 7})
+	backend := flag.String("backend", "sim", "execution substrate: sim (deterministic) | real (goroutines)")
+	timescale := flag.Float64("timescale", 1e-3, "real backend: wall seconds per virtual second")
+	spin := flag.Bool("spin", false, "real backend: busy-wait instead of sleeping")
+	flag.Parse()
+
+	m := newMachine(*backend, *timescale, *spin)
 	total := 1<<(treeDepth+1) - 1 // nodes in a complete binary tree
 
 	for p := 0; p < procs; p++ {
-		e.Spawn(fmt.Sprintf("p%d", p), func(proc *sim.Proc) {
+		m.Spawn(fmt.Sprintf("p%d", p), func(ep substrate.Endpoint) {
 			opts := core.DefaultOptions(ilb.Implicit)
 			opts.LB.WaterMark = 0.1
 			opts.Policy = policy.NewWorkStealing(policy.DefaultWSConfig())
-			r := core.NewRuntime(proc, opts)
+			r := core.NewRuntime(ep, opts)
 
 			visited := 0
 			var hDone dmcs.HandlerID
 			hDone = r.Comm().Register(func(c *dmcs.Comm, src int, data any, size int) {
 				visited++
 				if visited == total {
-					fmt.Printf("all %d nodes visited; makespan %v\n", total, proc.Now())
+					fmt.Printf("all %d nodes visited; makespan %v\n", total, ep.Now())
 					r.StopAll()
 				}
 			})
@@ -77,13 +110,13 @@ func main() {
 					r.Message(node.right, hWork, nil, 8, nodeWork.Seconds())
 				}
 				r.Compute(nodeWork) // ... do more work here for local node ...
-				r.Comm().SendTagged(0, hDone, nil, 8, sim.TagApp)
+				r.Comm().SendTagged(0, hDone, nil, 8, substrate.TagApp)
 			})
 
 			// Processor 0 builds the whole tree locally — a deliberately
 			// terrible initial distribution that the work stealing policy
 			// must fix at runtime.
-			if proc.ID() == 0 {
+			if ep.ID() == 0 {
 				var build func(depth int) mol.MobilePtr
 				build = func(depth int) mol.MobilePtr {
 					n := &treeNode{depth: depth, left: mol.Nil, right: mol.Nil}
@@ -98,21 +131,21 @@ func main() {
 			}
 			r.Run()
 
-			if proc.ID() == 0 {
+			if ep.ID() == 0 {
 				fmt.Printf("proc 0 migrations out: %d\n", r.Mol().Stats.MigrationsOut)
 			}
 		})
 	}
-	if err := e.Run(); err != nil {
+	if err := m.Run(); err != nil {
 		panic(err)
 	}
 
 	fmt.Println("\nper-processor computation (work started on processor 0 only):")
-	serial := sim.Time(total) * nodeWork
+	serial := substrate.Time(total) * nodeWork
 	for i := 0; i < procs; i++ {
-		a := e.Proc(i).Account()
-		fmt.Printf("  p%d: compute %v, idle %v\n", i, a[sim.CatCompute], a[sim.CatIdle])
+		a := m.Account(i)
+		fmt.Printf("  p%d: compute %v, idle %v\n", i, a[substrate.CatCompute], a[substrate.CatIdle])
 	}
 	fmt.Printf("serial time %v, parallel makespan %v (%.1fx speedup)\n",
-		serial, e.Makespan(), serial.Seconds()/e.Makespan().Seconds())
+		serial, m.Makespan(), serial.Seconds()/m.Makespan().Seconds())
 }

@@ -126,7 +126,7 @@ func RunCharm(w Workload, cfg CharmConfig) (*Result, error) {
 	if err := e.Run(); err != nil {
 		return nil, fmt.Errorf("bench %s: %w", name, err)
 	}
-	res := collect(name, w, e)
+	res := collect(name, w, sim.Machine{Engine: e})
 	var lbSteps, moved int
 	for _, rt := range runtimes {
 		moved += rt.Stats.CharesMoved

@@ -6,6 +6,7 @@ import (
 
 	"prema/internal/ilb"
 	"prema/internal/sim"
+	"prema/internal/substrate"
 )
 
 // FigureSpec identifies one of the paper's benchmark figures by its two
@@ -85,6 +86,24 @@ func RunSystem(name string, w Workload) (*Result, error) {
 		return RunCharm(w, DefaultCharmConfig(0))
 	case "charm-sync4":
 		return RunCharm(w, DefaultCharmConfig(4))
+	default:
+		return nil, fmt.Errorf("bench: unknown system %q", name)
+	}
+}
+
+// RunSystemOn executes one named PREMA system configuration on an arbitrary
+// execution substrate. The third-party baseline models (parmetis, charm*)
+// are wired to the simulator's cost model and are rejected here.
+func RunSystemOn(name string, m substrate.Machine, w Workload) (*Result, error) {
+	switch name {
+	case "none":
+		return RunPremaOn(m, w, DefaultPremaConfig(ilb.Implicit, false))
+	case "prema-explicit":
+		return RunPremaOn(m, w, DefaultPremaConfig(ilb.Explicit, true))
+	case "prema-implicit":
+		return RunPremaOn(m, w, DefaultPremaConfig(ilb.Implicit, true))
+	case "parmetis", "charm", "charm-sync4":
+		return nil, fmt.Errorf("bench: system %q is simulator-only", name)
 	default:
 		return nil, fmt.Errorf("bench: unknown system %q", name)
 	}

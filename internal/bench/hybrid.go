@@ -268,7 +268,7 @@ func RunHybrid(system string, cfg HybridConfig, mc *MeshCosts) (*Result, error) 
 		return nil, fmt.Errorf("hybrid %s: %w", system, err)
 	}
 	w := Workload{Procs: cfg.Procs, Units: nSubs * cfg.NumPhases, Seed: cfg.Seed}
-	return collect(system, w, e), nil
+	return collect(system, w, sim.Machine{Engine: e}), nil
 }
 
 // homeIndex returns the registration index of sub on its home processor

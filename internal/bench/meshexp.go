@@ -196,7 +196,7 @@ func runMeshPrema(cfg MeshExpConfig, mc *MeshCosts, balance bool) (*Result, erro
 		return nil, fmt.Errorf("mesh %s: %w", name, err)
 	}
 	w := Workload{Procs: cfg.Procs, Units: nSubs * cfg.Iterations, Seed: cfg.Seed}
-	return collect(name, w, e), nil
+	return collect(name, w, sim.Machine{Engine: e}), nil
 }
 
 // mesh repartition wire payloads.
@@ -443,7 +443,7 @@ func runMeshRepartition(cfg MeshExpConfig, mc *MeshCosts) (*Result, error) {
 		return nil, fmt.Errorf("mesh repartition: %w", err)
 	}
 	w := Workload{Procs: cfg.Procs, Units: nSubs * cfg.Iterations, Seed: cfg.Seed}
-	res := collect("repartition", w, e)
+	res := collect("repartition", w, sim.Machine{Engine: e})
 	res.Counters["lb_rounds"] = rounds
 	return res, nil
 }

@@ -312,7 +312,7 @@ func RunParmetis(w Workload, cfg ParmetisConfig) (*Result, error) {
 	if err := e.Run(); err != nil {
 		return nil, fmt.Errorf("bench parmetis: %w", err)
 	}
-	res := collect("parmetis", w, e)
+	res := collect("parmetis", w, sim.Machine{Engine: e})
 	res.Counters["lb_rounds"] = rounds
 	res.Counters["rounds_declined"] = declined
 	res.Counters["units_migrated_root"] = migrated

@@ -8,17 +8,23 @@ import (
 	"prema/internal/ilb"
 	"prema/internal/mol"
 	"prema/internal/policy"
-	"prema/internal/sim"
+	"prema/internal/substrate"
 )
 
 // PolicyNames lists the PREMA policy suite the benchmark can drive beyond
 // the paper's featured work stealing.
 var PolicyNames = []string{"worksteal", "diffusion", "multilist"}
 
-// RunPremaPolicy executes the synthetic benchmark on the PREMA runtime in
-// implicit mode under the named load balancing policy — the paper's policy
-// suite (§4: Work Stealing, Diffusion, Multi-list Scheduling).
+// RunPremaPolicy executes the synthetic benchmark on the PREMA runtime over
+// the deterministic simulator in implicit mode under the named load balancing
+// policy — the paper's policy suite (§4: Work Stealing, Diffusion, Multi-list
+// Scheduling).
 func RunPremaPolicy(w Workload, policyName string) (*Result, error) {
+	return RunPremaPolicyOn(w.machine(), w, policyName)
+}
+
+// RunPremaPolicyOn is RunPremaPolicy on an arbitrary execution substrate.
+func RunPremaPolicyOn(m substrate.Machine, w Workload, policyName string) (*Result, error) {
 	mkPolicy := func() (ilb.Policy, error) {
 		switch policyName {
 		case "worksteal":
@@ -42,14 +48,13 @@ func RunPremaPolicy(w Workload, policyName string) (*Result, error) {
 	if _, err := mkPolicy(); err != nil {
 		return nil, err
 	}
-	e := w.engine()
 	for p := 0; p < w.Procs; p++ {
-		e.Spawn(fmt.Sprintf("p%03d", p), func(proc *sim.Proc) {
+		m.Spawn(fmt.Sprintf("p%03d", p), func(ep substrate.Endpoint) {
 			opts := core.DefaultOptions(ilb.Implicit)
 			opts.LB.WaterMark = 12
 			pol, _ := mkPolicy()
 			opts.Policy = pol
-			r := core.NewRuntime(proc, opts)
+			r := core.NewRuntime(ep, opts)
 			done := 0
 			var hDone dmcs.HandlerID
 			hDone = r.Comm().Register(func(c *dmcs.Comm, src int, data any, size int) {
@@ -60,17 +65,17 @@ func RunPremaPolicy(w Workload, policyName string) (*Result, error) {
 			})
 			hWork := r.RegisterHandler(func(l *mol.Layer, obj *mol.Object, src int, data any, size int) {
 				r.Compute(w.Actual(obj.Data.(int)))
-				r.Comm().SendTagged(0, hDone, nil, 8, sim.TagApp)
+				r.Comm().SendTagged(0, hDone, nil, 8, substrate.TagApp)
 			})
-			for _, u := range w.UnitsOf(proc.ID()) {
+			for _, u := range w.UnitsOf(ep.ID()) {
 				mp := r.Register(u, w.UnitBytes)
 				r.Message(mp, hWork, nil, 8, w.Hint(u))
 			}
 			r.Run()
 		})
 	}
-	if err := e.Run(); err != nil {
+	if err := m.Run(); err != nil {
 		return nil, fmt.Errorf("bench policy %s: %w", policyName, err)
 	}
-	return collect("prema-"+policyName, w, e), nil
+	return collect("prema-"+policyName, w, m), nil
 }

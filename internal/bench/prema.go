@@ -8,7 +8,7 @@ import (
 	"prema/internal/ilb"
 	"prema/internal/mol"
 	"prema/internal/policy"
-	"prema/internal/sim"
+	"prema/internal/substrate"
 )
 
 // PremaConfig configures the PREMA benchmark driver.
@@ -21,7 +21,7 @@ type PremaConfig struct {
 	// balancing initiation.
 	WaterMark float64
 	// PollInterval is the implicit-mode polling thread period.
-	PollInterval sim.Time
+	PollInterval substrate.Time
 	// PollEvery is how many units the application executes between posted
 	// polls (see ilb.Config.PollEvery). The paper's benchmark executes
 	// coarse, well-tuned work units; 8 is the calibrated default.
@@ -40,23 +40,29 @@ func DefaultPremaConfig(mode ilb.Mode, balance bool) PremaConfig {
 		Mode:         mode,
 		Balance:      balance,
 		WaterMark:    12,
-		PollInterval: 10 * sim.Millisecond,
+		PollInterval: 10 * substrate.Millisecond,
 		PollEvery:    8,
 		WS:           ws,
 	}
 }
 
-// RunPrema executes the synthetic benchmark on the PREMA runtime and
-// returns the per-processor breakdowns.
+// RunPrema executes the synthetic benchmark on the PREMA runtime over the
+// deterministic simulator and returns the per-processor breakdowns.
 func RunPrema(w Workload, cfg PremaConfig) (*Result, error) {
-	e := w.engine()
+	return RunPremaOn(w.machine(), w, cfg)
+}
+
+// RunPremaOn executes the synthetic benchmark on any execution substrate —
+// the application and runtime code is identical on the simulator and the
+// real-concurrency machine; only the machine passed in differs.
+func RunPremaOn(m substrate.Machine, w Workload, cfg PremaConfig) (*Result, error) {
 	name := "none"
 	if cfg.Balance {
 		name = "prema-" + cfg.Mode.String()
 	}
 	policies := make([]*policy.WorkStealing, w.Procs)
 	for p := 0; p < w.Procs; p++ {
-		e.Spawn(fmt.Sprintf("p%03d", p), func(proc *sim.Proc) {
+		m.Spawn(fmt.Sprintf("p%03d", p), func(ep substrate.Endpoint) {
 			lbCfg := ilb.DefaultConfig(cfg.Mode)
 			lbCfg.WaterMark = cfg.WaterMark
 			if cfg.PollInterval > 0 {
@@ -68,10 +74,10 @@ func RunPrema(w Workload, cfg PremaConfig) (*Result, error) {
 			opts := core.Options{LB: lbCfg, Mol: mol.DefaultConfig()}
 			if cfg.Balance {
 				ws := policy.NewWorkStealing(cfg.WS)
-				policies[proc.ID()] = ws
+				policies[ep.ID()] = ws
 				opts.Policy = ws
 			}
-			r := core.NewRuntime(proc, opts)
+			r := core.NewRuntime(ep, opts)
 
 			done := 0
 			var hDone dmcs.HandlerID
@@ -84,24 +90,25 @@ func RunPrema(w Workload, cfg PremaConfig) (*Result, error) {
 			hWork := r.RegisterHandler(func(l *mol.Layer, obj *mol.Object, src int, data any, size int) {
 				u := obj.Data.(int)
 				r.Compute(w.Actual(u))
-				r.Comm().SendTagged(0, hDone, nil, 8, sim.TagApp)
+				r.Comm().SendTagged(0, hDone, nil, 8, substrate.TagApp)
 			})
 
 			// Step 2+3 of the benchmark: create and register this
 			// processor's initial subdomains as mobile objects and send
-			// each its computation message (setup is untimed: registration
-			// and local enqueue cost no virtual time).
-			for _, u := range w.UnitsOf(proc.ID()) {
+			// each its computation message (setup is untimed on the
+			// simulator: registration and local enqueue cost no virtual
+			// time).
+			for _, u := range w.UnitsOf(ep.ID()) {
 				mp := r.Register(u, w.UnitBytes)
 				r.Message(mp, hWork, nil, 8, w.Hint(u))
 			}
 			r.Run()
 		})
 	}
-	if err := e.Run(); err != nil {
+	if err := m.Run(); err != nil {
 		return nil, fmt.Errorf("bench %s: %w", name, err)
 	}
-	res := collect(name, w, e)
+	res := collect(name, w, m)
 	if cfg.Balance {
 		var req, grant, nack, moved int
 		for _, ws := range policies {
@@ -119,16 +126,16 @@ func RunPrema(w Workload, cfg PremaConfig) (*Result, error) {
 }
 
 // collect snapshots per-processor accounts into a Result.
-func collect(name string, w Workload, e *sim.Engine) *Result {
+func collect(name string, w Workload, m substrate.Machine) *Result {
 	res := &Result{
 		System:   name,
 		W:        w,
-		Makespan: e.Makespan(),
-		Accounts: make([]sim.Account, e.NumProcs()),
+		Makespan: m.Makespan(),
+		Accounts: make([]substrate.Account, m.NumProcs()),
 		Counters: make(map[string]int),
 	}
-	for i := 0; i < e.NumProcs(); i++ {
-		res.Accounts[i] = *e.Proc(i).Account()
+	for i := 0; i < m.NumProcs(); i++ {
+		res.Accounts[i] = *m.Account(i)
 	}
 	return res
 }

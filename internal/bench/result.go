@@ -5,8 +5,8 @@ import (
 	"io"
 	"strings"
 
-	"prema/internal/sim"
 	"prema/internal/stats"
+	"prema/internal/substrate"
 )
 
 // Result is the outcome of one benchmark run: the quantities the paper's
@@ -20,9 +20,9 @@ type Result struct {
 	// W is the workload that was run.
 	W Workload
 	// Makespan is the overall runtime (max processor finish time).
-	Makespan sim.Time
+	Makespan substrate.Time
 	// Accounts holds each processor's final time ledger.
-	Accounts []sim.Account
+	Accounts []substrate.Account
 	// Counters carries system-specific counters (steals, migrations,
 	// repartition rounds, ...) for reporting.
 	Counters map[string]int
@@ -30,7 +30,7 @@ type Result struct {
 
 // Series extracts one per-processor category series in seconds — one
 // stacked-bar component of the paper's figures.
-func (r *Result) Series(cat sim.Category) []float64 {
+func (r *Result) Series(cat substrate.Category) []float64 {
 	out := make([]float64, len(r.Accounts))
 	for i := range r.Accounts {
 		out[i] = r.Accounts[i][cat].Seconds()
@@ -41,14 +41,14 @@ func (r *Result) Series(cat sim.Category) []float64 {
 // ComputeStdDev is the paper's load-quality metric: the standard deviation
 // of per-processor computation times, in seconds.
 func (r *Result) ComputeStdDev() float64 {
-	return stats.StdDev(r.Series(sim.CatCompute))
+	return stats.StdDev(r.Series(substrate.CatCompute))
 }
 
 // TotalCompute returns the machine-wide useful computation in seconds.
 func (r *Result) TotalCompute() float64 {
 	t := 0.0
 	for i := range r.Accounts {
-		t += r.Accounts[i][sim.CatCompute].Seconds()
+		t += r.Accounts[i][substrate.CatCompute].Seconds()
 	}
 	return t
 }
@@ -74,7 +74,7 @@ func (r *Result) OverheadPct() float64 {
 func (r *Result) SyncPct() float64 {
 	var s float64
 	for i := range r.Accounts {
-		s += (r.Accounts[i][sim.CatSync] + r.Accounts[i][sim.CatPartition]).Seconds()
+		s += (r.Accounts[i][substrate.CatSync] + r.Accounts[i][substrate.CatPartition]).Seconds()
 	}
 	c := r.TotalCompute()
 	if c == 0 {
@@ -103,7 +103,7 @@ func (r *Result) OverheadOfRuntimePct() float64 {
 func (r *Result) IdlePct() float64 {
 	var idle float64
 	for i := range r.Accounts {
-		idle += r.Accounts[i][sim.CatIdle].Seconds()
+		idle += r.Accounts[i][substrate.CatIdle].Seconds()
 	}
 	total := r.Makespan.Seconds() * float64(len(r.Accounts))
 	if total == 0 {
@@ -128,10 +128,10 @@ func (r *Result) WriteCSV(w io.Writer) error {
 	for i := range r.Accounts {
 		a := &r.Accounts[i]
 		_, err := fmt.Fprintf(w, "%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n", i,
-			a[sim.CatCompute].Seconds(), a[sim.CatIdle].Seconds(),
-			a[sim.CatMessaging].Seconds(), a[sim.CatScheduling].Seconds(),
-			a[sim.CatCallback].Seconds(), a[sim.CatPollThread].Seconds(),
-			a[sim.CatPartition].Seconds(), a[sim.CatSync].Seconds())
+			a[substrate.CatCompute].Seconds(), a[substrate.CatIdle].Seconds(),
+			a[substrate.CatMessaging].Seconds(), a[substrate.CatScheduling].Seconds(),
+			a[substrate.CatCallback].Seconds(), a[substrate.CatPollThread].Seconds(),
+			a[substrate.CatPartition].Seconds(), a[substrate.CatSync].Seconds())
 		if err != nil {
 			return err
 		}
@@ -149,10 +149,10 @@ func (r *Result) Breakdown(stride int) string {
 	for i := 0; i < len(r.Accounts); i += stride {
 		a := &r.Accounts[i]
 		t.AddRow(i,
-			a[sim.CatCompute].Seconds(), a[sim.CatIdle].Seconds(),
-			a[sim.CatMessaging].Seconds(), a[sim.CatScheduling].Seconds(),
-			a[sim.CatCallback].Seconds(), a[sim.CatPollThread].Seconds(),
-			a[sim.CatPartition].Seconds(), a[sim.CatSync].Seconds(),
+			a[substrate.CatCompute].Seconds(), a[substrate.CatIdle].Seconds(),
+			a[substrate.CatMessaging].Seconds(), a[substrate.CatScheduling].Seconds(),
+			a[substrate.CatCallback].Seconds(), a[substrate.CatPollThread].Seconds(),
+			a[substrate.CatPartition].Seconds(), a[substrate.CatSync].Seconds(),
 			a.Total().Seconds())
 	}
 	var b strings.Builder

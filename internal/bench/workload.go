@@ -8,6 +8,7 @@ package bench
 
 import (
 	"prema/internal/sim"
+	"prema/internal/substrate"
 )
 
 // HintMode controls how the computational weight *hints* handed to the load
@@ -117,4 +118,11 @@ func (w Workload) IdealMakespan() sim.Time {
 // engine builds the simulation engine for this workload.
 func (w Workload) engine() *sim.Engine {
 	return sim.NewEngine(sim.Config{Network: w.Network, Seed: w.Seed})
+}
+
+// machine builds the default (deterministic simulator) substrate machine for
+// this workload. The RunXxxOn drivers accept any substrate.Machine; callers
+// wanting real concurrency construct an rtm.Machine themselves.
+func (w Workload) machine() substrate.Machine {
+	return sim.NewMachine(sim.Config{Network: w.Network, Seed: w.Seed})
 }

@@ -12,7 +12,7 @@
 // small-cluster MPI collectives over Ethernet. Every processor must
 // construct its Coll in the same SPMD order and call the same sequence of
 // collectives; each call site blocks until the collective completes, with
-// blocked time charged to sim.CatSync.
+// blocked time charged to substrate.CatSync.
 package coll
 
 import (
@@ -20,7 +20,7 @@ import (
 	"sort"
 
 	"prema/internal/dmcs"
-	"prema/internal/sim"
+	"prema/internal/substrate"
 )
 
 // Coll is a processor-local endpoint for collective operations.
@@ -50,7 +50,7 @@ type release struct {
 
 // New builds a collective endpoint; SPMD construction order applies.
 func New(c *dmcs.Comm) *Coll {
-	cl := &Coll{c: c, n: c.Proc().Engine().NumProcs(), me: c.Proc().ID(),
+	cl := &Coll{c: c, n: c.Proc().NumPeers(), me: c.Proc().ID(),
 		gathered: make(map[int]map[int]any)}
 	cl.hGather = c.Register(func(cc *dmcs.Comm, src int, data any, size int) {
 		ct := data.(contribution)
@@ -81,7 +81,7 @@ func New(c *dmcs.Comm) *Coll {
 
 // run executes one collective: contribute data (size bytes), the root
 // combines all contributions with combine, and everyone returns the
-// combined result. Waiting time lands in sim.CatSync.
+// combined result. Waiting time lands in substrate.CatSync.
 func (cl *Coll) run(data any, size int, combine func(map[int]any) (any, int)) any {
 	cl.seq++
 	if cl.me == 0 {
@@ -90,20 +90,20 @@ func (cl *Coll) run(data any, size int, combine func(map[int]any) (any, int)) an
 		}
 		cl.gathered[cl.seq][0] = data
 		for len(cl.gathered[cl.seq]) < cl.n {
-			cl.c.Proc().WaitMsg(sim.CatSync)
+			cl.c.Proc().WaitMsg(substrate.CatSync)
 			cl.c.Poll()
 		}
 		out, outSize := combine(cl.gathered[cl.seq])
 		delete(cl.gathered, cl.seq)
 		for q := 1; q < cl.n; q++ {
-			cl.c.SendTagged(q, cl.hRelease, release{Seq: cl.seq, Data: out}, outSize, sim.TagSystem)
+			cl.c.SendTagged(q, cl.hRelease, release{Seq: cl.seq, Data: out}, outSize, substrate.TagSystem)
 		}
 		return out
 	}
 	cl.released = false
-	cl.c.SendTagged(0, cl.hGather, contribution{Seq: cl.seq, Proc: cl.me, Data: data}, size+16, sim.TagSystem)
+	cl.c.SendTagged(0, cl.hGather, contribution{Seq: cl.seq, Proc: cl.me, Data: data}, size+16, substrate.TagSystem)
 	for !cl.released {
-		cl.c.Proc().WaitMsg(sim.CatSync)
+		cl.c.Proc().WaitMsg(substrate.CatSync)
 		cl.c.Poll()
 	}
 	return cl.result

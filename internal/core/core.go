@@ -16,10 +16,12 @@
 package core
 
 import (
+	"time"
+
 	"prema/internal/dmcs"
 	"prema/internal/ilb"
 	"prema/internal/mol"
-	"prema/internal/sim"
+	"prema/internal/substrate"
 )
 
 // Options configures a per-processor PREMA runtime instance.
@@ -45,18 +47,20 @@ func DefaultOptions(mode ilb.Mode) Options {
 
 // Runtime is one processor's PREMA endpoint.
 type Runtime struct {
-	p *sim.Proc
+	p substrate.Endpoint
 	c *dmcs.Comm
 	l *mol.Layer
 	s *ilb.Scheduler
 
-	hStop dmcs.HandlerID
+	hStop    dmcs.HandlerID
+	stopSent bool
 }
 
-// NewRuntime builds the PREMA stack on a simulated processor. As with every
-// layer in this repository, all processors must call NewRuntime (and then
-// register handlers) in the same order.
-func NewRuntime(p *sim.Proc, opt Options) *Runtime {
+// NewRuntime builds the PREMA stack on a substrate endpoint — a simulated
+// processor (internal/sim) or a real goroutine processor (internal/rtm). As
+// with every layer in this repository, all processors must call NewRuntime
+// (and then register handlers) in the same order.
+func NewRuntime(p substrate.Endpoint, opt Options) *Runtime {
 	c := dmcs.New(p)
 	l := mol.New(c, opt.Mol)
 	pol := opt.Policy
@@ -71,8 +75,8 @@ func NewRuntime(p *sim.Proc, opt Options) *Runtime {
 	return r
 }
 
-// Proc returns the underlying simulated processor.
-func (r *Runtime) Proc() *sim.Proc { return r.p }
+// Proc returns the underlying substrate endpoint.
+func (r *Runtime) Proc() substrate.Endpoint { return r.p }
 
 // Comm returns the raw active-message endpoint for application-level AM use.
 func (r *Runtime) Comm() *dmcs.Comm { return r.c }
@@ -113,9 +117,15 @@ func (r *Runtime) Get(mp mol.MobilePtr, reader int, done func(value any)) {
 	r.l.Get(mp, reader, done)
 }
 
-// Compute consumes application CPU inside a work-unit handler; in implicit
-// mode it is preempted by the polling thread (see ilb.Scheduler.Compute).
-func (r *Runtime) Compute(d sim.Time) { r.s.Compute(d) }
+// Compute consumes d of application CPU inside a work-unit handler; in
+// implicit mode it is preempted by the polling thread (see
+// ilb.Scheduler.Compute). The duration is backend-neutral substrate time:
+// the simulator advances virtual time by exactly d, the real-concurrency
+// machine burns scaled wall-clock.
+func (r *Runtime) Compute(d substrate.Time) { r.s.Compute(d) }
+
+// ComputeDuration is Compute for callers holding a time.Duration.
+func (r *Runtime) ComputeDuration(d time.Duration) { r.s.Compute(substrate.FromDuration(d)) }
 
 // Poll is the application-posted polling operation.
 func (r *Runtime) Poll() { r.s.Poll() }
@@ -127,14 +137,20 @@ func (r *Runtime) Run() { r.s.Run() }
 func (r *Runtime) Stop() { r.s.Stop() }
 
 // StopAll broadcasts termination to every processor (including this one).
-// Typically called by the processor that detects global completion.
+// Typically called by the processor that detects global completion. StopAll
+// is idempotent: repeated calls stop the local scheduler again but broadcast
+// only once, so a double-stop can neither flood the network nor deadlock a
+// backend whose peers have already drained their inboxes and exited.
 func (r *Runtime) StopAll() {
-	n := r.p.Engine().NumProcs()
-	for i := 0; i < n; i++ {
-		if i == r.p.ID() {
-			continue
+	if !r.stopSent {
+		r.stopSent = true
+		n := r.p.NumPeers()
+		for i := 0; i < n; i++ {
+			if i == r.p.ID() {
+				continue
+			}
+			r.c.SendTagged(i, r.hStop, nil, 8, substrate.TagSystem)
 		}
-		r.c.SendTagged(i, r.hStop, nil, 8, sim.TagSystem)
 	}
 	r.s.Stop()
 }

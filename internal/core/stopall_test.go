@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"prema/internal/ilb"
+	"prema/internal/rtm"
+	"prema/internal/sim"
+	"prema/internal/substrate"
+)
+
+// backends runs f once per substrate backend. Termination semantics —
+// StopAll reaching every processor, idempotent double-stops — must hold on
+// both the deterministic simulator and the real-concurrency machine.
+func backends(t *testing.T, f func(t *testing.T, m substrate.Machine)) {
+	t.Run("sim", func(t *testing.T) {
+		f(t, sim.NewMachine(sim.Config{Seed: 6}))
+	})
+	t.Run("real", func(t *testing.T) {
+		cfg := rtm.DefaultConfig()
+		cfg.Seed = 6
+		f(t, rtm.New(cfg))
+	})
+}
+
+// TestStopAllIdempotent: calling StopAll repeatedly must broadcast the stop
+// only once and never deadlock — on either backend — even though the peers
+// may already have stopped and stopped polling their inboxes.
+func TestStopAllIdempotent(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		procs := procs
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			backends(t, func(t *testing.T, m substrate.Machine) {
+				stops := make([]int, procs)
+				for p := 0; p < procs; p++ {
+					m.Spawn(fmt.Sprintf("p%d", p), func(ep substrate.Endpoint) {
+						r := NewRuntime(ep, DefaultOptions(ilb.Explicit))
+						if ep.ID() == 0 {
+							ep.Advance(5*substrate.Millisecond, substrate.CatCompute)
+							r.StopAll()
+							r.StopAll() // second call must be a local no-op plus no re-broadcast
+							r.StopAll()
+							stops[0] = 1
+							return
+						}
+						r.Run()
+						stops[ep.ID()] = 1
+					})
+				}
+				if err := m.Run(); err != nil {
+					t.Fatal(err)
+				}
+				for p, s := range stops {
+					if s != 1 {
+						t.Fatalf("processor %d never stopped", p)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestStopAllFromEveryProcessor: several processors detecting completion
+// concurrently and all broadcasting StopAll must still terminate cleanly
+// (the buffered delivery path absorbs broadcasts to already-exited peers).
+func TestStopAllFromEveryProcessor(t *testing.T) {
+	const procs = 4
+	backends(t, func(t *testing.T, m substrate.Machine) {
+		for p := 0; p < procs; p++ {
+			m.Spawn(fmt.Sprintf("p%d", p), func(ep substrate.Endpoint) {
+				r := NewRuntime(ep, DefaultOptions(ilb.Implicit))
+				r.StopAll()
+				r.Run() // already stopped: must return immediately
+			})
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -8,34 +8,38 @@
 // registered per processor, and every processor must register the same
 // handlers in the same order so that handler IDs agree across the machine —
 // exactly the SPMD registration discipline of the C library.
+//
+// The layer is written against substrate.Endpoint, so the same DMCS code
+// runs on the deterministic simulator (internal/sim) and on the
+// real-concurrency goroutine machine (internal/rtm).
 package dmcs
 
-import "prema/internal/sim"
+import "prema/internal/substrate"
 
 // HandlerID names a registered active-message handler.
 type HandlerID int
 
 // Handler is an active-message handler. It runs on the destination
-// processor's simulated context (it may compute, send, and poll), with src
+// processor's execution context (it may compute, send, and poll), with src
 // the sending processor and data/size the payload.
 type Handler func(c *Comm, src int, data any, size int)
 
 // Comm is a processor-local communication endpoint.
 type Comm struct {
-	p        *sim.Proc
+	p        substrate.Endpoint
 	handlers []Handler
-	// DispatchCPU is charged (to sim.CatCallback) around every handler
+	// DispatchCPU is charged (to substrate.CatCallback) around every handler
 	// invocation, modeling the user-level dispatch cost of the AM layer.
-	DispatchCPU sim.Time
+	DispatchCPU substrate.Time
 }
 
-// New wraps a simulated processor in a DMCS endpoint.
-func New(p *sim.Proc) *Comm {
-	return &Comm{p: p, DispatchCPU: 2 * sim.Microsecond}
+// New wraps a substrate endpoint in a DMCS endpoint.
+func New(p substrate.Endpoint) *Comm {
+	return &Comm{p: p, DispatchCPU: 2 * substrate.Microsecond}
 }
 
-// Proc returns the underlying simulated processor.
-func (c *Comm) Proc() *sim.Proc { return c.p }
+// Proc returns the underlying substrate endpoint.
+func (c *Comm) Proc() substrate.Endpoint { return c.p }
 
 // Register installs h and returns its ID. Registration order must match on
 // every processor.
@@ -48,26 +52,26 @@ func (c *Comm) Register(h Handler) HandlerID {
 // given payload once dst polls. Size models the payload's wire size. The
 // send charges the sender's per-message CPU overhead.
 func (c *Comm) Send(dst int, h HandlerID, data any, size int) {
-	c.SendTagged(dst, h, data, size, sim.TagApp)
+	c.SendTagged(dst, h, data, size, substrate.TagApp)
 }
 
 // SendTagged is Send with an explicit traffic-class tag. Load balancer
-// traffic uses sim.TagSystem so it can be drained preemptively by PREMA's
-// polling thread without touching application messages.
+// traffic uses substrate.TagSystem so it can be drained preemptively by
+// PREMA's polling thread without touching application messages.
 func (c *Comm) SendTagged(dst int, h HandlerID, data any, size int, tag int) {
-	c.p.Send(&sim.Msg{
+	c.p.Send(&substrate.Msg{
 		Dst:  dst,
 		Kind: int(h),
 		Tag:  tag,
 		Data: data,
 		Size: size,
-	}, sim.CatMessaging)
+	}, substrate.CatMessaging)
 }
 
 // dispatch runs the handler named by m.
-func (c *Comm) dispatch(m *sim.Msg) {
+func (c *Comm) dispatch(m *substrate.Msg) {
 	if c.DispatchCPU > 0 {
-		c.p.Advance(c.DispatchCPU, sim.CatCallback)
+		c.p.Advance(c.DispatchCPU, substrate.CatCallback)
 	}
 	c.handlers[m.Kind](c, m.Src, m.Data, m.Size)
 }
@@ -78,7 +82,7 @@ func (c *Comm) dispatch(m *sim.Msg) {
 func (c *Comm) Poll() int {
 	n := 0
 	for {
-		m := c.p.TryRecv(sim.CatMessaging)
+		m := c.p.TryRecv(substrate.CatMessaging)
 		if m == nil {
 			return n
 		}
@@ -89,7 +93,7 @@ func (c *Comm) Poll() int {
 
 // PollOne dispatches at most one queued message.
 func (c *Comm) PollOne() bool {
-	m := c.p.TryRecv(sim.CatMessaging)
+	m := c.p.TryRecv(substrate.CatMessaging)
 	if m == nil {
 		return false
 	}
@@ -99,13 +103,13 @@ func (c *Comm) PollOne() bool {
 
 // PollTag dispatches every queued message carrying tag, leaving other
 // traffic untouched. It returns the number dispatched. PollTag with
-// sim.TagSystem is the core of implicit (preemptive) load balancing: the
-// polling thread drains balancer messages without delivering application
+// substrate.TagSystem is the core of implicit (preemptive) load balancing:
+// the polling thread drains balancer messages without delivering application
 // messages, preserving PREMA's single-threaded application model (§4.2).
 func (c *Comm) PollTag(tag int) int {
 	n := 0
 	for {
-		m := c.p.TryRecvTag(tag, sim.CatMessaging)
+		m := c.p.TryRecvTag(tag, substrate.CatMessaging)
 		if m == nil {
 			return n
 		}
@@ -115,15 +119,15 @@ func (c *Comm) PollTag(tag int) int {
 }
 
 // WaitPoll blocks until at least one message is queued (attributing the wait
-// to cat, normally sim.CatIdle), then polls everything queued.
-func (c *Comm) WaitPoll(cat sim.Category) int {
+// to cat, normally substrate.CatIdle), then polls everything queued.
+func (c *Comm) WaitPoll(cat substrate.Category) int {
 	c.p.WaitMsg(cat)
 	return c.Poll()
 }
 
 // WaitPollFor blocks until a message arrives or d elapses, then polls.
 // It returns the number of messages dispatched.
-func (c *Comm) WaitPollFor(d sim.Time, cat sim.Category) int {
+func (c *Comm) WaitPollFor(d substrate.Time, cat substrate.Category) int {
 	if !c.p.WaitMsgFor(d, cat) {
 		return 0
 	}

@@ -19,7 +19,7 @@ import (
 
 	"prema/internal/dmcs"
 	"prema/internal/mol"
-	"prema/internal/sim"
+	"prema/internal/substrate"
 )
 
 // Mode selects how load balancer messages get processed.
@@ -50,14 +50,14 @@ type Config struct {
 	// when the processor begins its last queued unit, whatever the hints say.
 	WaterMark float64
 	// PollInterval is the implicit-mode polling thread period.
-	PollInterval sim.Time
+	PollInterval substrate.Time
 	// PollCost is the CPU cost of one polling-thread wake-up.
-	PollCost sim.Time
+	PollCost substrate.Time
 	// ScheduleCPU is scheduler bookkeeping charged per executed unit.
-	ScheduleCPU sim.Time
+	ScheduleCPU substrate.Time
 	// IdleTick bounds how long an idle processor blocks before re-engaging
 	// the policy.
-	IdleTick sim.Time
+	IdleTick substrate.Time
 	// PollEvery is how many work units the application executes between
 	// posted polling operations while it has work (it always polls when
 	// idle). 1 (the default) polls between every unit; larger values model
@@ -72,10 +72,10 @@ func DefaultConfig(mode Mode) Config {
 	return Config{
 		Mode:         mode,
 		WaterMark:    10,
-		PollInterval: 10 * sim.Millisecond,
-		PollCost:     4 * sim.Microsecond,
-		ScheduleCPU:  3 * sim.Microsecond,
-		IdleTick:     50 * sim.Millisecond,
+		PollInterval: 10 * substrate.Millisecond,
+		PollCost:     4 * substrate.Microsecond,
+		ScheduleCPU:  3 * substrate.Microsecond,
+		IdleTick:     50 * substrate.Millisecond,
 		PollEvery:    1,
 	}
 }
@@ -142,7 +142,7 @@ func (NopPolicy) OnPoll(*Scheduler) {}
 type Scheduler struct {
 	l      *mol.Layer
 	c      *dmcs.Comm
-	p      *sim.Proc
+	p      substrate.Endpoint
 	cfg    Config
 	policy Policy
 
@@ -185,8 +185,8 @@ func (s *Scheduler) Mol() *mol.Layer { return s.l }
 // Comm returns the underlying DMCS endpoint.
 func (s *Scheduler) Comm() *dmcs.Comm { return s.c }
 
-// Proc returns the underlying simulated processor.
-func (s *Scheduler) Proc() *sim.Proc { return s.p }
+// Proc returns the underlying substrate endpoint.
+func (s *Scheduler) Proc() substrate.Endpoint { return s.p }
 
 // Config returns the scheduler configuration.
 func (s *Scheduler) Config() Config { return s.cfg }
@@ -211,7 +211,7 @@ func (s *Scheduler) Stopped() bool { return s.stopped }
 // weight is the hinted computational weight in seconds (may be inaccurate —
 // that is the adaptive regime the framework is built for).
 func (s *Scheduler) Message(mp mol.MobilePtr, h mol.HandlerID, data any, size int, weight float64) {
-	s.l.MessageWeighted(mp, h, data, size, sim.TagApp, weight)
+	s.l.MessageWeighted(mp, h, data, size, substrate.TagApp, weight)
 }
 
 func (s *Scheduler) enqueue(u *Unit) {
@@ -349,9 +349,9 @@ func (s *Scheduler) checkLoad() {
 // handlers must use Compute rather than raw Proc.Advance: in implicit mode
 // Compute interleaves the polling thread, which preemptively drains
 // system-tagged balancer messages every PollInterval.
-func (s *Scheduler) Compute(d sim.Time) {
+func (s *Scheduler) Compute(d substrate.Time) {
 	if s.cfg.Mode == Explicit || s.cfg.PollInterval <= 0 {
-		s.p.Advance(d, sim.CatCompute)
+		s.p.Advance(d, substrate.CatCompute)
 		return
 	}
 	for d > 0 {
@@ -359,7 +359,7 @@ func (s *Scheduler) Compute(d sim.Time) {
 		if slice > d {
 			slice = d
 		}
-		s.p.Advance(slice, sim.CatCompute)
+		s.p.Advance(slice, substrate.CatCompute)
 		d -= slice
 		if d > 0 {
 			s.pollThread()
@@ -371,15 +371,15 @@ func (s *Scheduler) Compute(d sim.Time) {
 func (s *Scheduler) pollThread() {
 	s.Stats.PollWakes++
 	if s.cfg.PollCost > 0 {
-		s.p.Advance(s.cfg.PollCost, sim.CatPollThread)
+		s.p.Advance(s.cfg.PollCost, substrate.CatPollThread)
 	}
-	s.c.PollTag(sim.TagSystem)
+	s.c.PollTag(substrate.TagSystem)
 }
 
 // execute runs one work unit to completion.
 func (s *Scheduler) execute(u *Unit) {
 	if s.cfg.ScheduleCPU > 0 {
-		s.p.Advance(s.cfg.ScheduleCPU, sim.CatScheduling)
+		s.p.Advance(s.cfg.ScheduleCPU, substrate.CatScheduling)
 	}
 	s.current = u
 	s.Stats.UnitsRun++
@@ -421,7 +421,7 @@ func (s *Scheduler) Step() bool {
 	if s.stopped {
 		return false
 	}
-	s.c.WaitPollFor(s.cfg.IdleTick, sim.CatIdle)
+	s.c.WaitPollFor(s.cfg.IdleTick, substrate.CatIdle)
 	return true
 }
 

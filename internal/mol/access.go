@@ -2,7 +2,7 @@ package mol
 
 import (
 	"prema/internal/dmcs"
-	"prema/internal/sim"
+	"prema/internal/substrate"
 )
 
 // Remote data access (the MOL paper's mol_get-style consistent access
@@ -45,7 +45,7 @@ func (l *Layer) Get(mp MobilePtr, reader int, done func(value any)) {
 	l.getSeq++
 	id := l.getSeq
 	l.getPending[id] = done
-	l.MessageTagged(mp, l.hGetReq, getRequest{ID: id, Reader: reader, Origin: l.Proc().ID()}, 24, sim.TagApp)
+	l.MessageTagged(mp, l.hGetReq, getRequest{ID: id, Reader: reader, Origin: l.Proc().ID()}, 24, substrate.TagApp)
 }
 
 // PendingGets returns the number of Gets awaiting replies.
@@ -69,7 +69,7 @@ func (l *Layer) ensureAccess() {
 			ll.completeGet(getReply{ID: req.ID, Value: value})
 			return
 		}
-		ll.Comm().SendTagged(req.Origin, ll.hGetReply, getReply{ID: req.ID, Value: value}, sz+16, sim.TagApp)
+		ll.Comm().SendTagged(req.Origin, ll.hGetReply, getReply{ID: req.ID, Value: value}, sz+16, substrate.TagApp)
 	})
 	l.hGetReply = l.Comm().Register(func(c *dmcs.Comm, src int, data any, size int) {
 		l.completeGet(data.(getReply))

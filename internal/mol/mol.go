@@ -17,7 +17,7 @@ import (
 	"sort"
 
 	"prema/internal/dmcs"
-	"prema/internal/sim"
+	"prema/internal/substrate"
 )
 
 // MobilePtr is a location-independent name for a mobile object: the
@@ -108,7 +108,7 @@ type DeliverFunc func(l *Layer, obj *Object, env *Envelope)
 type Config struct {
 	// ForwardCPU is charged on a processor that forwards a misdelivered
 	// message toward the object's current location.
-	ForwardCPU sim.Time
+	ForwardCPU substrate.Time
 	// MigrateFixed is the fixed payload overhead of a migration message,
 	// added to Object.Size.
 	MigrateFixed int
@@ -122,7 +122,7 @@ type Config struct {
 // DefaultConfig returns the configuration used by the experiments.
 func DefaultConfig() Config {
 	return Config{
-		ForwardCPU:   5 * sim.Microsecond,
+		ForwardCPU:   5 * substrate.Microsecond,
 		MigrateFixed: 64,
 		NotifyOrigin: true,
 	}
@@ -205,8 +205,8 @@ func New(c *dmcs.Comm, cfg Config) *Layer {
 // Comm returns the underlying DMCS endpoint.
 func (l *Layer) Comm() *dmcs.Comm { return l.c }
 
-// Proc returns the underlying simulated processor.
-func (l *Layer) Proc() *sim.Proc { return l.c.Proc() }
+// Proc returns the underlying substrate endpoint.
+func (l *Layer) Proc() substrate.Endpoint { return l.c.Proc() }
 
 // SetDeliver overrides the in-order delivery sink (see DeliverFunc).
 func (l *Layer) SetDeliver(d DeliverFunc) { l.deliver = d }
@@ -267,7 +267,7 @@ func (l *Layer) bestGuess(mp MobilePtr) int {
 // handler h at the object's current host. Message order from this processor
 // to mp is preserved across migrations.
 func (l *Layer) Message(mp MobilePtr, h HandlerID, data any, size int) {
-	l.MessageTagged(mp, h, data, size, sim.TagApp)
+	l.MessageTagged(mp, h, data, size, substrate.TagApp)
 }
 
 // MessageTagged is Message with an explicit traffic-class tag.
@@ -350,7 +350,7 @@ func (l *Layer) forward(env *Envelope) {
 		panic("mol: forwarding loop for " + env.MP.String())
 	}
 	if l.cfg.ForwardCPU > 0 {
-		l.Proc().Advance(l.cfg.ForwardCPU, sim.CatMessaging)
+		l.Proc().Advance(l.cfg.ForwardCPU, substrate.CatMessaging)
 	}
 	next := l.bestGuess(env.MP)
 	if next == l.Proc().ID() {
@@ -360,7 +360,7 @@ func (l *Layer) forward(env *Envelope) {
 	l.c.SendTagged(next, l.hEnvelope, env, env.Size+envelopeHeader, env.Tag)
 	if l.cfg.NotifyOrigin && env.Origin != l.Proc().ID() && next != env.Origin {
 		l.Stats.LocationNotify++
-		l.c.SendTagged(env.Origin, l.hLocation, &locationUpdate{env.MP, next}, 16, sim.TagSystem)
+		l.c.SendTagged(env.Origin, l.hLocation, &locationUpdate{env.MP, next}, 16, substrate.TagSystem)
 	}
 }
 
@@ -384,7 +384,7 @@ func (l *Layer) Migrate(mp MobilePtr, dst int) error {
 		extra = l.OnMigrateOut(obj)
 	}
 	size := obj.Size + l.cfg.MigrateFixed + 16*len(obj.hold)
-	l.c.SendTagged(dst, l.hMigrate, &migration{obj: obj, extra: extra}, size, sim.TagSystem)
+	l.c.SendTagged(dst, l.hMigrate, &migration{obj: obj, extra: extra}, size, substrate.TagSystem)
 	return nil
 }
 
@@ -399,7 +399,7 @@ func (l *Layer) migrateIn(src int, m *migration) {
 	// Tell the home directory where the object now lives (unless it came
 	// home or it is already here).
 	if obj.MP.Home != l.Proc().ID() {
-		l.c.SendTagged(obj.MP.Home, l.hLocation, &locationUpdate{obj.MP, l.Proc().ID()}, 16, sim.TagSystem)
+		l.c.SendTagged(obj.MP.Home, l.hLocation, &locationUpdate{obj.MP, l.Proc().ID()}, 16, substrate.TagSystem)
 	}
 	// Some held envelopes may now be deliverable (e.g. their predecessors
 	// were consumed before migration).

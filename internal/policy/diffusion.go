@@ -3,13 +3,13 @@ package policy
 import (
 	"prema/internal/dmcs"
 	"prema/internal/ilb"
-	"prema/internal/sim"
+	"prema/internal/substrate"
 )
 
 // DiffConfig tunes the diffusion policy.
 type DiffConfig struct {
 	// Period between load-information exchanges with the neighborhood.
-	Period sim.Time
+	Period substrate.Time
 	// Alpha is the diffusion coefficient: the fraction of a pairwise load
 	// difference pushed per exchange. Cybenko's stable choice for a
 	// d-dimensional hypercube is 1/(d+1); 0 selects that automatically.
@@ -24,7 +24,7 @@ type DiffConfig struct {
 // DefaultDiffConfig returns the configuration used in tests and ablations.
 func DefaultDiffConfig() DiffConfig {
 	return DiffConfig{
-		Period:      100 * sim.Millisecond,
+		Period:      100 * substrate.Millisecond,
 		MinTransfer: 1.0,
 		MaxObjects:  8,
 	}
@@ -46,7 +46,7 @@ type Diffusion struct {
 	cfg       DiffConfig
 	neighbors []int
 	alpha     float64
-	next      sim.Time
+	next      substrate.Time
 	hLoad     dmcs.HandlerID
 	Stats     DiffStats
 }
@@ -71,7 +71,7 @@ func (d *Diffusion) Neighbors() []int { return d.neighbors }
 // Setup implements ilb.Policy.
 func (d *Diffusion) Setup(s *ilb.Scheduler) {
 	me := s.Proc().ID()
-	n := s.Proc().Engine().NumProcs()
+	n := s.Proc().NumPeers()
 	d.neighbors = neighborhood(me, n)
 	d.alpha = d.cfg.Alpha
 	if d.alpha <= 0 {
@@ -105,7 +105,7 @@ func neighborhood(me, n int) []int {
 func (d *Diffusion) broadcast(s *ilb.Scheduler) {
 	d.Stats.Exchanges++
 	for _, nb := range d.neighbors {
-		s.Comm().SendTagged(nb, d.hLoad, s.Load(), 16, sim.TagSystem)
+		s.Comm().SendTagged(nb, d.hLoad, s.Load(), 16, substrate.TagSystem)
 	}
 }
 

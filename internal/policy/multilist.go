@@ -6,7 +6,7 @@ import (
 	"prema/internal/dmcs"
 	"prema/internal/ilb"
 	"prema/internal/mol"
-	"prema/internal/sim"
+	"prema/internal/substrate"
 )
 
 // MLConfig tunes the multi-list scheduling policy.
@@ -22,7 +22,7 @@ type MLConfig struct {
 	// claim time anyway (the advertiser verifies the object is still
 	// queued), and early expiry starves consumers that go hungry long after
 	// producers advertised.
-	AdTTL sim.Time
+	AdTTL substrate.Time
 }
 
 // DefaultMLConfig returns the configuration used in tests and ablations.
@@ -67,7 +67,7 @@ type ad struct {
 	mp     mol.MobilePtr
 	host   int
 	weight float64
-	posted sim.Time
+	posted substrate.Time
 }
 
 // NewMultiList returns a multi-list policy instance (one per processor).
@@ -118,8 +118,8 @@ func (m *MultiList) post(s *ilb.Scheduler) {
 	sort.SliceStable(objs, func(i, j int) bool {
 		return s.QueuedWeight(objs[i]) > s.QueuedWeight(objs[j])
 	})
-	n := s.Proc().Engine().NumProcs()
-	rng := s.Proc().Engine().Rand()
+	n := s.Proc().NumPeers()
+	rng := s.Proc().Rand()
 	for _, obj := range objs {
 		if surplus <= 0 {
 			break
@@ -136,7 +136,7 @@ func (m *MultiList) post(s *ilb.Scheduler) {
 			a.posted = s.Proc().Now()
 			m.ads = append(m.ads, a)
 		} else {
-			s.Comm().SendTagged(list, m.hPost, a, 48, sim.TagSystem)
+			s.Comm().SendTagged(list, m.hPost, a, 48, substrate.TagSystem)
 		}
 		surplus -= w
 	}
@@ -147,7 +147,7 @@ func (m *MultiList) maybeFetch(s *ilb.Scheduler) {
 	if m.fetching || s.Stopped() || s.Load() >= m.cfg.LowMark {
 		return
 	}
-	n := s.Proc().Engine().NumProcs()
+	n := s.Proc().NumPeers()
 	if n <= 1 {
 		return
 	}
@@ -160,7 +160,7 @@ func (m *MultiList) maybeFetch(s *ilb.Scheduler) {
 		m.serveFetch(s, s.Proc().ID())
 		return
 	}
-	s.Comm().SendTagged(list, m.hFetch, nil, 16, sim.TagSystem)
+	s.Comm().SendTagged(list, m.hFetch, nil, 16, substrate.TagSystem)
 }
 
 // serveFetch (at a list owner) hands the heaviest live advertisement to the
@@ -189,7 +189,7 @@ func (m *MultiList) serveFetch(s *ilb.Scheduler, claimer int) {
 		m.serveClaim(s, claim)
 		return
 	}
-	s.Comm().SendTagged(best.host, m.hClaim, claim, 32, sim.TagSystem)
+	s.Comm().SendTagged(best.host, m.hClaim, claim, 32, substrate.TagSystem)
 }
 
 // serveClaim (at the advertiser) migrates the object if it is still queued.
@@ -222,7 +222,7 @@ func (m *MultiList) reply(s *ilb.Scheduler, to int, granted bool) {
 		m.fetching = false
 		return
 	}
-	s.Comm().SendTagged(to, m.hReply, granted, 16, sim.TagSystem)
+	s.Comm().SendTagged(to, m.hReply, granted, 16, substrate.TagSystem)
 }
 
 // OnPoll implements ilb.Policy.

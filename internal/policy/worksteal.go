@@ -8,7 +8,7 @@ package policy
 import (
 	"prema/internal/dmcs"
 	"prema/internal/ilb"
-	"prema/internal/sim"
+	"prema/internal/substrate"
 )
 
 // WSConfig tunes the work stealing policy.
@@ -23,7 +23,7 @@ type WSConfig struct {
 	KeepFactor float64
 	// Backoff is how long a requester rests after a full unsuccessful sweep
 	// of potential victims.
-	Backoff sim.Time
+	Backoff substrate.Time
 	// RequestSize/payload bytes for request and control messages.
 	RequestSize int
 	// AutoWaterMark, when true, continuously re-derives the scheduler's
@@ -43,7 +43,7 @@ func DefaultWSConfig() WSConfig {
 	return WSConfig{
 		MaxObjects:  4,
 		KeepFactor:  0.5,
-		Backoff:     250 * sim.Millisecond,
+		Backoff:     250 * substrate.Millisecond,
 		RequestSize: 32,
 	}
 }
@@ -70,8 +70,8 @@ type WorkStealing struct {
 	partner      int
 	outstanding  bool
 	nacksInSweep int
-	backoffUntil sim.Time
-	requestedAt  sim.Time
+	backoffUntil substrate.Time
+	requestedAt  substrate.Time
 	rttEWMA      float64 // smoothed steal response latency, seconds
 
 	hRequest dmcs.HandlerID
@@ -100,7 +100,7 @@ type stealRequest struct {
 // Setup implements ilb.Policy.
 func (w *WorkStealing) Setup(s *ilb.Scheduler) {
 	me := s.Proc().ID()
-	n := s.Proc().Engine().NumProcs()
+	n := s.Proc().NumPeers()
 	// Initial pairing: partner with the adjacent processor (paper §4:
 	// "processors are paired with a single neighbor").
 	w.partner = me ^ 1
@@ -123,7 +123,7 @@ func (w *WorkStealing) Setup(s *ilb.Scheduler) {
 		w.nacksInSweep++
 		w.observeRTT(s)
 		w.advancePartner(s)
-		if w.nacksInSweep >= s.Proc().Engine().NumProcs()-1 {
+		if w.nacksInSweep >= s.Proc().NumPeers()-1 {
 			// Full unsuccessful sweep: the machine looks empty; rest.
 			w.nacksInSweep = 0
 			w.backoffUntil = s.Proc().Now() + w.cfg.Backoff
@@ -138,11 +138,11 @@ func (w *WorkStealing) Setup(s *ilb.Scheduler) {
 // all potential victims instead of marching them in lock-step onto the same
 // one (deterministic via the engine RNG).
 func (w *WorkStealing) advancePartner(s *ilb.Scheduler) {
-	n := s.Proc().Engine().NumProcs()
+	n := s.Proc().NumPeers()
 	if n <= 1 {
 		return
 	}
-	rng := s.Proc().Engine().Rand()
+	rng := s.Proc().Rand()
 	next := rng.Intn(n - 1)
 	if next >= s.Proc().ID() {
 		next++
@@ -153,7 +153,7 @@ func (w *WorkStealing) advancePartner(s *ilb.Scheduler) {
 // maybeRequest issues a steal request if none is outstanding and the policy
 // is not backing off.
 func (w *WorkStealing) maybeRequest(s *ilb.Scheduler) {
-	if w.outstanding || s.Stopped() || s.Proc().Engine().NumProcs() <= 1 {
+	if w.outstanding || s.Stopped() || s.Proc().NumPeers() <= 1 {
 		return
 	}
 	if s.Proc().Now() < w.backoffUntil {
@@ -162,7 +162,7 @@ func (w *WorkStealing) maybeRequest(s *ilb.Scheduler) {
 	w.outstanding = true
 	w.Stats.Requests++
 	w.requestedAt = s.Proc().Now()
-	s.Comm().SendTagged(w.partner, w.hRequest, stealRequest{Load: s.Load()}, w.cfg.RequestSize, sim.TagSystem)
+	s.Comm().SendTagged(w.partner, w.hRequest, stealRequest{Load: s.Load()}, w.cfg.RequestSize, substrate.TagSystem)
 }
 
 // observeRTT folds one steal response latency into the smoothed estimate
@@ -194,12 +194,12 @@ func (w *WorkStealing) serveRequest(s *ilb.Scheduler, src int, req stealRequest)
 	donated := w.donate(s, src, req.Load)
 	if donated == 0 {
 		w.Stats.NacksServed++
-		s.Comm().SendTagged(src, w.hNack, nil, w.cfg.RequestSize, sim.TagSystem)
+		s.Comm().SendTagged(src, w.hNack, nil, w.cfg.RequestSize, substrate.TagSystem)
 		return
 	}
 	w.Stats.GrantsServed++
 	w.Stats.ObjectsSent += donated
-	s.Comm().SendTagged(src, w.hGrant, donated, w.cfg.RequestSize, sim.TagSystem)
+	s.Comm().SendTagged(src, w.hGrant, donated, w.cfg.RequestSize, substrate.TagSystem)
 }
 
 // donate migrates up to MaxObjects queued objects toward equalizing the two

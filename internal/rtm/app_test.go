@@ -1,0 +1,126 @@
+package rtm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"prema/internal/bench"
+	"prema/internal/core"
+	"prema/internal/dmcs"
+	"prema/internal/ilb"
+	"prema/internal/mol"
+	"prema/internal/policy"
+	"prema/internal/rtm"
+	"prema/internal/substrate"
+)
+
+// TestQuickstartTreeOnRealBackend runs the paper's Figure 2 tree traversal —
+// the same application code as examples/quickstart — on the goroutine
+// backend with implicit work stealing. Placement and timing race the host
+// scheduler, but every node must be visited exactly once; under -race this
+// also audits the whole PREMA stack for data races on a genuinely parallel
+// substrate.
+func TestQuickstartTreeOnRealBackend(t *testing.T) {
+	const (
+		procs     = 4
+		treeDepth = 5
+		nodeWork  = 10 * substrate.Millisecond
+	)
+	type treeNode struct {
+		left, right mol.MobilePtr
+	}
+	cfg := rtm.DefaultConfig()
+	cfg.Seed = 7
+	m := rtm.New(cfg)
+	total := 1<<(treeDepth+1) - 1
+	visited := 0 // touched only by processor 0's goroutine
+	for p := 0; p < procs; p++ {
+		m.Spawn(fmt.Sprintf("p%d", p), func(ep substrate.Endpoint) {
+			opts := core.DefaultOptions(ilb.Implicit)
+			opts.LB.WaterMark = 0.1
+			opts.Policy = policy.NewWorkStealing(policy.DefaultWSConfig())
+			r := core.NewRuntime(ep, opts)
+
+			var hDone dmcs.HandlerID
+			hDone = r.Comm().Register(func(c *dmcs.Comm, src int, data any, size int) {
+				visited++
+				if visited == total {
+					r.StopAll()
+				}
+			})
+			var hWork mol.HandlerID
+			hWork = r.RegisterHandler(func(l *mol.Layer, obj *mol.Object, src int, data any, size int) {
+				node := obj.Data.(*treeNode)
+				if !node.left.IsNil() {
+					r.Message(node.left, hWork, nil, 8, nodeWork.Seconds())
+				}
+				if !node.right.IsNil() {
+					r.Message(node.right, hWork, nil, 8, nodeWork.Seconds())
+				}
+				r.Compute(nodeWork)
+				r.Comm().SendTagged(0, hDone, nil, 8, substrate.TagApp)
+			})
+			if ep.ID() == 0 {
+				var build func(depth int) mol.MobilePtr
+				build = func(depth int) mol.MobilePtr {
+					n := &treeNode{left: mol.Nil, right: mol.Nil}
+					if depth < treeDepth {
+						n.left = build(depth + 1)
+						n.right = build(depth + 1)
+					}
+					return r.Register(n, 256)
+				}
+				root := build(0)
+				r.Message(root, hWork, nil, 8, nodeWork.Seconds())
+			}
+			r.Run()
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if visited != total {
+		t.Fatalf("visited %d of %d nodes", visited, total)
+	}
+	var compute substrate.Time
+	for i := 0; i < procs; i++ {
+		compute += m.Account(i)[substrate.CatCompute]
+	}
+	if want := substrate.Time(total) * nodeWork; compute < want {
+		t.Fatalf("total compute %v < serial work %v", compute, want)
+	}
+}
+
+// TestMicrobenchOnRealBackend drives the paper's synthetic microbenchmark
+// through the backend-generic bench driver on the goroutine machine.
+func TestMicrobenchOnRealBackend(t *testing.T) {
+	w := bench.Workload{
+		Procs:     4,
+		Units:     24,
+		HeavyFrac: 0.5,
+		Heavy:     100 * substrate.Millisecond,
+		Light:     50 * substrate.Millisecond,
+		UnitBytes: 512,
+		Seed:      3,
+	}
+	cfg := rtm.DefaultConfig()
+	cfg.Seed = w.Seed
+	res, err := bench.RunPremaOn(rtm.New(cfg), w, bench.DefaultPremaConfig(ilb.Implicit, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != "prema-implicit" {
+		t.Fatalf("system %q", res.System)
+	}
+	// Advance never undershoots, so measured computation must cover the
+	// nominal total work.
+	if got, want := res.TotalCompute(), w.TotalWork().Seconds(); got < 0.99*want {
+		t.Fatalf("total compute %.3fs < nominal work %.3fs", got, want)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("makespan %v", res.Makespan)
+	}
+	if _, ok := res.Counters["steal_requests"]; !ok {
+		t.Fatalf("missing steal counters: %v", res.Counters)
+	}
+}

@@ -1,0 +1,135 @@
+package rtm_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"prema/internal/core"
+	"prema/internal/dmcs"
+	"prema/internal/ilb"
+	"prema/internal/mol"
+	"prema/internal/rtm"
+	"prema/internal/sim"
+	"prema/internal/substrate"
+)
+
+type confObj struct {
+	got int // messages received so far
+}
+
+// runConformance executes a fully program-driven workload (no load balancing
+// policy, migrations decided by the application before any work messages)
+// on m and returns each processor's MOL statistics and final object
+// placement. With per-(src,dst) FIFO guaranteed by every backend, all counts
+// and the placement are deterministic — identical across backends even
+// though timings differ.
+//
+// Shape: processor 0 registers `objects` mobile objects, migrates object i
+// to processor i%procs, announces readiness, and then every processor sends
+// one work message to every object (routed via the home directory; origin
+// notification is off so the routing is timing-independent). An object that
+// has heard from every processor reports completion to processor 0, which
+// stops the machine once all objects have reported.
+func runConformance(t *testing.T, m substrate.Machine, procs, objects int) ([]mol.Stats, [][]int) {
+	t.Helper()
+	statsOut := make([]mol.Stats, procs)
+	placement := make([][]int, procs)
+	for p := 0; p < procs; p++ {
+		m.Spawn(fmt.Sprintf("p%d", p), func(ep substrate.Endpoint) {
+			opts := core.DefaultOptions(ilb.Explicit)
+			opts.Mol.NotifyOrigin = false // keep routing independent of notify timing
+			r := core.NewRuntime(ep, opts)
+			self := ep.ID()
+
+			done := 0
+			var hDone dmcs.HandlerID
+			hDone = r.Comm().Register(func(c *dmcs.Comm, src int, data any, size int) {
+				done++
+				if done == objects {
+					r.StopAll()
+				}
+			})
+			var hWork mol.HandlerID
+			hWork = r.RegisterHandler(func(l *mol.Layer, obj *mol.Object, src int, data any, size int) {
+				o := obj.Data.(*confObj)
+				o.got++
+				r.Compute(2 * substrate.Millisecond)
+				if o.got == procs {
+					r.Comm().SendTagged(0, hDone, nil, 8, substrate.TagApp)
+				}
+			})
+			sendAll := func() {
+				for i := 0; i < objects; i++ {
+					r.Message(mol.MobilePtr{Home: 0, Index: i}, hWork, nil, 8, 0.002)
+				}
+			}
+			hReady := r.Comm().Register(func(c *dmcs.Comm, src int, data any, size int) {
+				sendAll()
+			})
+
+			if self == 0 {
+				for i := 0; i < objects; i++ {
+					r.Register(&confObj{}, 128)
+				}
+				for i := 0; i < objects; i++ {
+					if dst := i % procs; dst != 0 {
+						if err := r.Mol().Migrate(mol.MobilePtr{Home: 0, Index: i}, dst); err != nil {
+							t.Error(err)
+						}
+					}
+				}
+				// Per-(src,dst) FIFO: the ready announcement arrives after
+				// the migrations, so peers send work only once their
+				// residents are installed.
+				for q := 1; q < procs; q++ {
+					r.Comm().SendTagged(q, hReady, nil, 8, substrate.TagApp)
+				}
+				sendAll()
+			}
+			r.Run()
+
+			var local []int
+			for mp := range r.Mol().Local() {
+				local = append(local, mp.Index)
+			}
+			sort.Ints(local)
+			placement[self] = local
+			statsOut[self] = r.Mol().Stats
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return statsOut, placement
+}
+
+// TestCrossBackendConformance: the deterministic simulator and the
+// real-concurrency machine must agree exactly on message counts, migration
+// counts, forwards, and final object placement for a program-driven
+// workload; only timings may differ.
+func TestCrossBackendConformance(t *testing.T) {
+	const procs, objects = 4, 16
+	simStats, simPlace := runConformance(t, sim.NewMachine(sim.Config{Seed: 9}), procs, objects)
+	cfg := rtm.DefaultConfig()
+	cfg.Seed = 9
+	rtmStats, rtmPlace := runConformance(t, rtm.New(cfg), procs, objects)
+
+	if !reflect.DeepEqual(simStats, rtmStats) {
+		t.Errorf("MOL statistics diverge between backends:\n sim: %+v\n rtm: %+v", simStats, rtmStats)
+	}
+	if !reflect.DeepEqual(simPlace, rtmPlace) {
+		t.Errorf("final placement diverges between backends:\n sim: %v\n rtm: %v", simPlace, rtmPlace)
+	}
+	// And the placement is the one the program dictated.
+	for p := 0; p < procs; p++ {
+		var want []int
+		for i := p; i < objects; i += procs {
+			want = append(want, i)
+		}
+		if !reflect.DeepEqual(simPlace[p], want) {
+			t.Errorf("processor %d holds %v, want %v", p, simPlace[p], want)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+// Package rtm is the real-time machine: a substrate backend that executes
+// the PREMA stack with genuine parallelism. Each processor is a goroutine,
+// the network is buffered channels with per-(src,dst) FIFO delivery and a
+// configurable injected latency/bandwidth model, Compute burns scaled
+// wall-clock (sleeping or spinning), and time accounting uses the host's
+// monotonic clock.
+//
+// Where the discrete-event simulator (internal/sim) trades parallelism for
+// byte-identical determinism, rtm trades determinism for real concurrency:
+// runs race the host scheduler, so timings vary, but the PREMA protocol
+// invariants (per-pair FIFO, in-order mobile-object delivery, migration
+// transparency) must and do hold — the cross-backend conformance test and
+// the race detector are the guards.
+//
+// Synchronization model: every endpoint's state is confined to its own
+// goroutine; the only cross-goroutine edges are channel handoffs of *Msg
+// values. A sender must not touch a message (or payload objects whose
+// ownership it transfers, such as migrating mobile objects) after Send —
+// the same discipline the shared-memory simulator relies on, here enforced
+// by the race detector.
+package rtm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"prema/internal/substrate"
+)
+
+var errKilled = errors.New("rtm: processor killed")
+
+// Config parameterizes a Machine.
+type Config struct {
+	// TimeScale is wall-clock seconds burned per virtual second. 1.0 runs
+	// in real time; the default 1e-3 compresses a 1000-virtual-second
+	// benchmark into about one wall second. Virtual durations whose scaled
+	// wall equivalent is below the host's timer granularity (tens of
+	// microseconds when sleeping) lose fidelity — lower TimeScale trades
+	// accuracy for speed.
+	TimeScale float64
+	// Latency is the injected end-to-end latency for a zero-byte message,
+	// in virtual time (same semantics as sim.NetworkConfig.Latency).
+	Latency substrate.Time
+	// PerByte is the injected transmission time per payload byte.
+	PerByte substrate.Time
+	// SendCPU and RecvCPU are per-message CPU occupancies burned on the
+	// endpoints via Advance.
+	SendCPU, RecvCPU substrate.Time
+	// Spin selects busy-waiting instead of sleeping for Advance and the
+	// latency forwarders. Spinning tracks short durations far more
+	// accurately than the OS timer but occupies a host core per processor;
+	// use it only when the machine fits the hardware.
+	Spin bool
+	// Seed seeds the per-endpoint random sources (Seed+ID each).
+	Seed int64
+	// ChanCap is the capacity of each delivery channel (per endpoint inbox
+	// feed and per (src,dst) latency link). Defaults to 4096. A full
+	// channel back-pressures the sender, so size it above the largest
+	// plausible in-flight burst.
+	ChanCap int
+}
+
+// DefaultConfig returns a configuration mirroring the simulator's Fast
+// Ethernet model at a 1e-3 time scale.
+func DefaultConfig() Config {
+	return Config{
+		TimeScale: 1e-3,
+		Latency:   60 * substrate.Microsecond,
+		PerByte:   80 * substrate.Nanosecond,
+		SendCPU:   15 * substrate.Microsecond,
+		RecvCPU:   15 * substrate.Microsecond,
+	}
+}
+
+// Machine is a real-concurrency execution substrate. Create one with New,
+// add processors with Spawn, then call Run; Run returns once every
+// processor body has finished.
+type Machine struct {
+	cfg   Config
+	eps   []*Endpoint
+	links [][]chan *substrate.Msg // [src][dst], only when latency is injected
+
+	start   time.Time
+	stop    chan struct{}
+	stopped sync.Once
+	ran     bool
+
+	mu  sync.Mutex
+	err error
+}
+
+// New returns a machine with the given configuration.
+func New(cfg Config) *Machine {
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = DefaultConfig().TimeScale
+	}
+	if cfg.ChanCap <= 0 {
+		cfg.ChanCap = 4096
+	}
+	return &Machine{cfg: cfg, stop: make(chan struct{})}
+}
+
+// Spawn adds a processor whose behaviour is body. All Spawn calls must
+// precede Run; IDs are dense in spawn order.
+func (m *Machine) Spawn(name string, body func(substrate.Endpoint)) {
+	if m.ran {
+		panic("rtm: Spawn after Run")
+	}
+	e := &Endpoint{
+		m:    m,
+		id:   len(m.eps),
+		name: name,
+		body: body,
+		in:   make(chan *substrate.Msg, m.cfg.ChanCap),
+		rng:  rand.New(rand.NewSource(m.cfg.Seed + int64(len(m.eps)))),
+	}
+	m.eps = append(m.eps, e)
+}
+
+// Endpoint returns processor i (for direct, backend-specific access).
+func (m *Machine) Endpoint(i int) *Endpoint { return m.eps[i] }
+
+// NumProcs implements substrate.Machine.
+func (m *Machine) NumProcs() int { return len(m.eps) }
+
+// Account implements substrate.Machine. Only read it after Run returns: the
+// ledger is owned by the processor's goroutine while the machine runs.
+func (m *Machine) Account(i int) *substrate.Account { return &m.eps[i].acct }
+
+// Now returns virtual time elapsed since Run started.
+func (m *Machine) Now() substrate.Time { return m.now() }
+
+// Makespan returns the latest processor finish time (after Run).
+func (m *Machine) Makespan() substrate.Time {
+	var t substrate.Time
+	for _, e := range m.eps {
+		if e.finishedAt > t {
+			t = e.finishedAt
+		}
+	}
+	return t
+}
+
+// Stop tears the machine down early: processors blocked in (or next
+// entering) a substrate call are killed, as in the simulator's teardown.
+func (m *Machine) Stop() { m.kill(nil) }
+
+func (m *Machine) kill(err error) {
+	if err != nil {
+		m.mu.Lock()
+		if m.err == nil {
+			m.err = err
+		}
+		m.mu.Unlock()
+	}
+	m.stopped.Do(func() { close(m.stop) })
+}
+
+// Run launches every processor goroutine, waits for all bodies to finish,
+// and returns the first processor panic (if any) as an error.
+func (m *Machine) Run() error {
+	if m.ran {
+		panic("rtm: Run called twice")
+	}
+	m.ran = true
+	lat := m.cfg.Latency > 0 || m.cfg.PerByte > 0
+	if lat {
+		m.links = make([][]chan *substrate.Msg, len(m.eps))
+		for src := range m.links {
+			m.links[src] = make([]chan *substrate.Msg, len(m.eps))
+		}
+	}
+	for _, e := range m.eps {
+		e.lastArrival = make([]substrate.Time, len(m.eps))
+	}
+	m.start = time.Now()
+
+	var wg sync.WaitGroup
+	var fwd sync.WaitGroup
+	if lat {
+		for src := range m.links {
+			for dst := range m.links[src] {
+				ch := make(chan *substrate.Msg, m.cfg.ChanCap)
+				m.links[src][dst] = ch
+				fwd.Add(1)
+				go m.forward(ch, m.eps[dst], &fwd)
+			}
+		}
+	}
+	for _, e := range m.eps {
+		wg.Add(1)
+		go func(e *Endpoint) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil && r != errKilled {
+					m.kill(fmt.Errorf("rtm: processor %q panicked: %v\n%s", e.name, r, debug.Stack()))
+				}
+				e.finishedAt = m.now()
+			}()
+			e.body(e)
+		}(e)
+	}
+	wg.Wait()
+	m.stopped.Do(func() { close(m.stop) }) // release forwarders
+	fwd.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// forward is the per-(src,dst) latency pipe: it preserves link FIFO order,
+// holding each message until its arrival time before handing it to the
+// destination inbox feed.
+func (m *Machine) forward(ch chan *substrate.Msg, dst *Endpoint, fwd *sync.WaitGroup) {
+	defer fwd.Done()
+	for {
+		select {
+		case msg := <-ch:
+			m.sleepUntil(msg.ArrivedAt, nil) // scheduled arrival, stamped by the sender
+			if now := m.now(); now > msg.ArrivedAt {
+				msg.ArrivedAt = now // the link backed up; record the real arrival
+			}
+			select {
+			case dst.in <- msg:
+			case <-m.stop:
+				return
+			}
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// now returns virtual time elapsed since Run started.
+func (m *Machine) now() substrate.Time {
+	return substrate.Time(float64(time.Since(m.start)) / m.cfg.TimeScale)
+}
+
+// wall converts a virtual duration to a wall-clock duration.
+func (m *Machine) wall(v substrate.Time) time.Duration {
+	return time.Duration(float64(v) * m.cfg.TimeScale)
+}
+
+// spinThreshold is the wall-clock horizon below which sleepUntil spins
+// instead of sleeping. OS timers overshoot by up to a millisecond — a 100x
+// error on the tens-of-microsecond waits an aggressive TimeScale produces —
+// so the final stretch of every wait is spun to keep measured time honest.
+const spinThreshold = 200 * time.Microsecond
+
+// sleepUntil blocks until virtual time reaches target: it sleeps while the
+// remaining wall-clock wait is long, then spins the last stretch (or spins
+// throughout when the configuration demands it). A non-nil killed callback
+// is invoked when the machine stops mid-wait (endpoints pass one that
+// panics errKilled; forwarders pass nil and just return early).
+func (m *Machine) sleepUntil(target substrate.Time, killed func()) {
+	for {
+		now := m.now()
+		if now >= target {
+			return
+		}
+		remaining := m.wall(target - now)
+		if m.cfg.Spin || remaining <= spinThreshold {
+			runtime.Gosched()
+			select {
+			case <-m.stop:
+				if killed != nil {
+					killed()
+				}
+				return
+			default:
+			}
+			continue
+		}
+		t := time.NewTimer(remaining - spinThreshold)
+		select {
+		case <-t.C:
+		case <-m.stop:
+			t.Stop()
+			if killed != nil {
+				killed()
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package rtm_test
+
+import (
+	"strings"
+	"testing"
+
+	"prema/internal/rtm"
+	"prema/internal/substrate"
+)
+
+// TestPerPairFIFOUnderLatency: the injected-latency path (link channels plus
+// forwarder goroutines) must preserve per-(src,dst) order even when arrival
+// times collide.
+func TestPerPairFIFOUnderLatency(t *testing.T) {
+	const n = 300
+	m := rtm.New(rtm.Config{
+		TimeScale: 1e-6, // scheduled arrivals are all in the past: worst case for reordering
+		Latency:   50 * substrate.Microsecond,
+		PerByte:   10 * substrate.Nanosecond,
+		Seed:      1,
+	})
+	var got []int
+	m.Spawn("recv", func(ep substrate.Endpoint) {
+		for len(got) < n {
+			msg := ep.Recv(substrate.CatIdle)
+			got = append(got, msg.Kind)
+		}
+	})
+	m.Spawn("send", func(ep substrate.Endpoint) {
+		for i := 0; i < n; i++ {
+			ep.Send(&substrate.Msg{Dst: 0, Kind: i, Size: 64}, substrate.CatMessaging)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range got {
+		if k != i {
+			t.Fatalf("message %d arrived in position %d", k, i)
+		}
+	}
+}
+
+// TestPerSenderFIFODirectPath: with no injected latency messages are handed
+// straight to the destination channel; each sender's order must still hold.
+func TestPerSenderFIFODirectPath(t *testing.T) {
+	const n = 200
+	m := rtm.New(rtm.Config{TimeScale: 1e-3, Seed: 1})
+	bySrc := map[int][]int{}
+	m.Spawn("recv", func(ep substrate.Endpoint) {
+		for total := 0; total < 2*n; total++ {
+			msg := ep.Recv(substrate.CatIdle)
+			bySrc[msg.Src] = append(bySrc[msg.Src], msg.Kind)
+		}
+	})
+	for s := 1; s <= 2; s++ {
+		m.Spawn("send", func(ep substrate.Endpoint) {
+			for i := 0; i < n; i++ {
+				ep.Send(&substrate.Msg{Dst: 0, Kind: i}, substrate.CatMessaging)
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for src, ks := range bySrc {
+		if len(ks) != n {
+			t.Fatalf("src %d delivered %d of %d", src, len(ks), n)
+		}
+		for i, k := range ks {
+			if k != i {
+				t.Fatalf("src %d: message %d in position %d", src, k, i)
+			}
+		}
+	}
+}
+
+// TestAdvanceChargesMeasuredTime: Advance must burn at least the requested
+// virtual duration and charge what the monotonic clock measured.
+func TestAdvanceChargesMeasuredTime(t *testing.T) {
+	m := rtm.New(rtm.Config{TimeScale: 1e-3, Seed: 1})
+	m.Spawn("p", func(ep substrate.Endpoint) {
+		ep.Advance(20*substrate.Millisecond, substrate.CatCompute)
+		ep.Advance(-substrate.Second, substrate.CatCompute) // non-positive: no-op
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Account(0)[substrate.CatCompute]; got < 20*substrate.Millisecond {
+		t.Fatalf("compute charged %v, want >= 20ms", got)
+	}
+	if m.Makespan() < 20*substrate.Millisecond {
+		t.Fatalf("makespan %v", m.Makespan())
+	}
+}
+
+func TestWaitMsgForTimesOut(t *testing.T) {
+	m := rtm.New(rtm.Config{TimeScale: 1e-3, Seed: 1})
+	m.Spawn("lonely", func(ep substrate.Endpoint) {
+		t0 := ep.Now()
+		if ep.WaitMsgFor(10*substrate.Millisecond, substrate.CatIdle) {
+			t.Error("reported a message on an empty network")
+		}
+		if el := ep.Now() - t0; el < 10*substrate.Millisecond {
+			t.Errorf("returned after %v, before the deadline", el)
+		}
+		if ep.TryRecv(substrate.CatMessaging) != nil {
+			t.Error("TryRecv returned a phantom message")
+		}
+		if got := ep.Account()[substrate.CatIdle]; got < 10*substrate.Millisecond {
+			t.Errorf("idle charged %v", got)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryRecvTagFiltering(t *testing.T) {
+	m := rtm.New(rtm.Config{TimeScale: 1e-3, Seed: 1})
+	m.Spawn("recv", func(ep substrate.Endpoint) {
+		for ep.InboxLen() < 3 {
+			ep.WaitMsgFor(substrate.Millisecond, substrate.CatIdle)
+		}
+		if !ep.HasMsg(substrate.TagSystem) {
+			t.Error("system message not visible")
+		}
+		if msg := ep.TryRecvTag(substrate.TagSystem, substrate.CatMessaging); msg == nil || msg.Kind != 1 {
+			t.Errorf("tag recv got %+v", msg)
+		}
+		if msg := ep.TryRecvTag(substrate.TagSystem, substrate.CatMessaging); msg != nil {
+			t.Errorf("second tag recv got %+v", msg)
+		}
+		if a := ep.TryRecv(substrate.CatMessaging); a == nil || a.Kind != 0 {
+			t.Errorf("app recv got %+v", a)
+		}
+	})
+	m.Spawn("send", func(ep substrate.Endpoint) {
+		ep.Send(&substrate.Msg{Dst: 0, Kind: 0, Tag: substrate.TagApp}, substrate.CatMessaging)
+		ep.Send(&substrate.Msg{Dst: 0, Kind: 1, Tag: substrate.TagSystem}, substrate.CatMessaging)
+		ep.Send(&substrate.Msg{Dst: 0, Kind: 2, Tag: substrate.TagApp}, substrate.CatMessaging)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPanicTearsDownMachine: one processor panicking must surface as Run's
+// error and release processors blocked in substrate calls.
+func TestPanicTearsDownMachine(t *testing.T) {
+	m := rtm.New(rtm.Config{TimeScale: 1e-3, Seed: 1})
+	m.Spawn("waiter", func(ep substrate.Endpoint) {
+		ep.WaitMsg(substrate.CatIdle) // would block forever
+	})
+	m.Spawn("bad", func(ep substrate.Endpoint) {
+		panic("boom")
+	})
+	err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "bad") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestStopKillsBlockedProcessors: Stop must unblock processors mid-Advance
+// without reporting an error.
+func TestStopKillsBlockedProcessors(t *testing.T) {
+	m := rtm.New(rtm.Config{TimeScale: 1, Seed: 1})
+	m.Spawn("sleeper", func(ep substrate.Endpoint) {
+		ep.Advance(3600*substrate.Second, substrate.CatCompute) // an hour of wall-clock unless killed
+	})
+	m.Spawn("stopper", func(ep substrate.Endpoint) {
+		m.Stop()
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndpointIdentity(t *testing.T) {
+	m := rtm.New(rtm.Config{TimeScale: 1e-3, Seed: 42})
+	m.Spawn("a", func(ep substrate.Endpoint) {
+		if ep.ID() != 0 || ep.Name() != "a" || ep.NumPeers() != 2 {
+			t.Errorf("identity: id=%d name=%q peers=%d", ep.ID(), ep.Name(), ep.NumPeers())
+		}
+		if ep.Rand() == nil {
+			t.Error("nil rng")
+		}
+	})
+	m.Spawn("b", func(ep substrate.Endpoint) {
+		if ep.ID() != 1 || ep.Name() != "b" {
+			t.Errorf("identity: id=%d name=%q", ep.ID(), ep.Name())
+		}
+	})
+	if m.NumProcs() != 2 {
+		t.Fatalf("NumProcs = %d", m.NumProcs())
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"math/rand"
+
+	"prema/internal/substrate"
+)
+
+// This file is the simulator's substrate adapter: Proc implements
+// substrate.Endpoint directly, and Machine wraps Engine to implement
+// substrate.Machine. The adapter adds no cost model of its own, so reports
+// produced through it are byte-identical to reports produced through the
+// Engine API (internal/bench/determinism_test.go guards this).
+
+// NumPeers returns the machine size. It implements substrate.Endpoint.
+func (p *Proc) NumPeers() int { return len(p.eng.procs) }
+
+// Rand returns the engine's deterministic random source: every endpoint
+// shares the one seeded stream, which is safe because at most one processor
+// executes at any instant, and is required for reproducible runs.
+func (p *Proc) Rand() *rand.Rand { return p.eng.rng }
+
+var _ substrate.Endpoint = (*Proc)(nil)
+
+// Machine adapts an Engine to substrate.Machine so that backend-neutral
+// drivers (bench, examples, conformance tests) can run on the simulator.
+type Machine struct {
+	*Engine
+}
+
+// NewMachine returns a simulator machine with the given configuration.
+func NewMachine(cfg Config) Machine { return Machine{NewEngine(cfg)} }
+
+// Spawn implements substrate.Machine.
+func (m Machine) Spawn(name string, body func(substrate.Endpoint)) {
+	m.Engine.Spawn(name, func(p *Proc) { body(p) })
+}
+
+// Account implements substrate.Machine.
+func (m Machine) Account(i int) *substrate.Account { return m.Engine.Proc(i).Account() }
+
+var _ substrate.Machine = Machine{}

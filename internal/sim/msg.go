@@ -1,31 +1,14 @@
 package sim
 
-// Msg is a message in flight between simulated processors. The simulator
-// treats the payload as opaque; higher layers (DMCS, MOL, the baselines)
-// interpret Kind and Data. Size is the modeled wire size in bytes and is
-// what the network cost model charges for — Data itself is shared memory,
-// standing in for serialized bytes.
-type Msg struct {
-	// Src and Dst are processor IDs.
-	Src, Dst int
-	// Kind discriminates message types at whatever layer consumes the
-	// message. The simulator does not interpret it.
-	Kind int
-	// Tag separates traffic classes. By convention TagSystem messages are
-	// load-balancer traffic eligible for preemptive (polling-thread)
-	// processing; TagApp messages are application traffic handled only at
-	// application-posted polls, mirroring PREMA's tag mechanism (§4.2).
-	Tag int
-	// Data is the payload.
-	Data any
-	// Size is the modeled payload size in bytes.
-	Size int
-	// SentAt and ArrivedAt are stamped by the simulator.
-	SentAt, ArrivedAt Time
-}
+import "prema/internal/substrate"
+
+// Msg is a message in flight between simulated processors; it is an alias of
+// substrate.Msg (see that type for field semantics). The simulator treats
+// the payload as opaque and charges the network cost model for Size bytes.
+type Msg = substrate.Msg
 
 // Traffic-class tags. See Msg.Tag.
 const (
-	TagApp = iota
-	TagSystem
+	TagApp    = substrate.TagApp
+	TagSystem = substrate.TagSystem
 )

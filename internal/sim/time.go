@@ -1,33 +1,26 @@
 package sim
 
-import "fmt"
+import "prema/internal/substrate"
 
-// Time is a point in (or duration of) virtual time, in nanoseconds.
+// Time is virtual time, in nanoseconds. It is an alias of substrate.Time so
+// that values flow between the simulator and the backend-neutral PREMA stack
+// without conversion.
 //
 // Virtual time is completely decoupled from wall-clock time: computation,
 // message transmission, and synchronization advance virtual time according to
 // the cost model configured on the Engine, never according to how long the
 // host takes to execute the simulation.
-type Time int64
+type Time = substrate.Time
 
 // Common durations, mirroring time.Duration's constants.
 const (
-	Nanosecond  Time = 1
-	Microsecond      = 1000 * Nanosecond
-	Millisecond      = 1000 * Microsecond
-	Second           = 1000 * Millisecond
+	Nanosecond  = substrate.Nanosecond
+	Microsecond = substrate.Microsecond
+	Millisecond = substrate.Millisecond
+	Second      = substrate.Second
 )
-
-// Seconds returns the time as a floating-point number of seconds.
-func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
-
-// Millis returns the time as a floating-point number of milliseconds.
-func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
-
-// String renders the time in seconds with millisecond resolution.
-func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
 
 // Scale multiplies the duration by a dimensionless factor, rounding toward
 // zero. It is the canonical way to derive work-unit durations from abstract
 // computational weights.
-func Scale(t Time, f float64) Time { return Time(float64(t) * f) }
+func Scale(t Time, f float64) Time { return substrate.Scale(t, f) }

@@ -1,0 +1,47 @@
+package substrate
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestStackDoesNotImportSim guards the substrate seam: the PREMA stack
+// (dmcs, mol, ilb, policy, core, coll) must depend only on this package,
+// never on a concrete backend. A direct import of internal/sim or
+// internal/rtm from one of these layers would silently re-couple the stack
+// to one backend; this test turns that into a build-time-visible failure.
+func TestStackDoesNotImportSim(t *testing.T) {
+	layers := []string{"dmcs", "mol", "ilb", "policy", "core", "coll"}
+	banned := []string{"prema/internal/sim", "prema/internal/rtm"}
+	fset := token.NewFileSet()
+	for _, layer := range layers {
+		files, err := filepath.Glob(filepath.Join("..", layer, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			t.Fatalf("no sources found for layer %s", layer)
+		}
+		for _, file := range files {
+			if strings.HasSuffix(file, "_test.go") {
+				continue // tests may build machines of either backend
+			}
+			f, err := parser.ParseFile(fset, file, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("parse %s: %v", file, err)
+			}
+			for _, imp := range f.Imports {
+				path, _ := strconv.Unquote(imp.Path.Value)
+				for _, b := range banned {
+					if path == b {
+						t.Errorf("%s imports %s; the PREMA stack must depend only on internal/substrate", file, path)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package substrate defines the execution-substrate abstraction the PREMA
+// stack is written against. Every layer above it — dmcs (active messages),
+// mol (mobile objects), ilb (load balancing), policy (the balancing
+// strategies), and core (the assembled runtime) — depends only on the small
+// interfaces in this package, never on a concrete machine. Two backends
+// implement them:
+//
+//   - internal/sim: the deterministic discrete-event simulator. One host
+//     thread, virtual time, a seeded RNG — byte-identical reports across
+//     runs, used for all paper-figure reproduction.
+//   - internal/rtm: the real-time machine. Each processor is a goroutine,
+//     the network is buffered channels with per-(src,dst) FIFO delivery and
+//     injected latency, and time accounting uses the host's monotonic clock
+//     — genuine parallelism, validated under the race detector.
+//
+// The split mirrors the paper's own layering: DMCS is specified as handlers
+// over an opaque transport, so the transport (and the clock that prices it)
+// is exactly the seam where a simulator and a real machine can be swapped
+// without touching application or runtime code.
+package substrate
+
+import "math/rand"
+
+// Clock provides the substrate's notion of the current time. In the
+// simulator this is virtual time driven by the event loop; in the real-time
+// machine it is scaled monotonic wall-clock time.
+type Clock interface {
+	// Now returns the current time on this substrate.
+	Now() Time
+}
+
+// Endpoint is one processor's view of the machine: identity, time, the
+// message transport, and the per-category time ledger. All methods must be
+// called from the processor's own execution context (its simulated body or
+// its goroutine); Endpoints are not safe for cross-processor sharing.
+type Endpoint interface {
+	Clock
+
+	// ID returns the processor's dense ID (spawn order).
+	ID() int
+	// Name returns the processor's name.
+	Name() string
+	// NumPeers returns the machine size (total number of endpoints,
+	// including this one).
+	NumPeers() int
+	// Rand returns a random source usable from this endpoint's context. The
+	// simulator hands every endpoint the engine's single seeded stream (so
+	// runs stay deterministic); the real-time machine hands each endpoint
+	// its own seeded stream (so goroutines never share unsynchronized
+	// state).
+	Rand() *rand.Rand
+
+	// Account returns the processor's time ledger. The pointer stays valid
+	// for the lifetime of the machine; read it after Run for final figures.
+	Account() *Account
+	// Charge adds time to a category without consuming any. It re-attributes
+	// time (e.g. splitting a receive between messaging and callback
+	// overhead); prefer Advance for real time consumption.
+	Charge(cat Category, d Time)
+	// Advance consumes d of CPU time, attributed to cat. The simulator
+	// advances virtual time; the real-time machine burns scaled wall-clock
+	// (sleeping or spinning).
+	Advance(d Time, cat Category)
+
+	// Send transmits m, stamping Src and SentAt and charging the sender's
+	// per-message CPU overhead to cat. Delivery is asynchronous and FIFO
+	// per (src,dst) pair.
+	Send(m *Msg, cat Category)
+	// InboxLen returns the number of queued, undelivered messages.
+	InboxLen() int
+	// HasMsg reports whether any queued message carries the given tag.
+	HasMsg(tag int) bool
+	// TryRecv pops the oldest queued message, charging receive CPU overhead
+	// to cat. It returns nil when no message is queued.
+	TryRecv(cat Category) *Msg
+	// TryRecvTag pops the oldest queued message with the given tag,
+	// preserving the relative order of the remaining messages. It returns
+	// nil when no such message is queued.
+	TryRecvTag(tag int, cat Category) *Msg
+	// Recv blocks until a message is available and returns it, attributing
+	// blocked time to waitCat and receive overhead to CatMessaging.
+	Recv(waitCat Category) *Msg
+	// WaitMsg blocks until at least one message is queued, attributing the
+	// wait to cat.
+	WaitMsg(cat Category)
+	// WaitMsgFor blocks until a message is queued or d elapses, attributing
+	// the wait to cat. It reports whether a message is available.
+	WaitMsgFor(d Time, cat Category) bool
+}
+
+// Machine is a whole execution substrate: a set of endpoints plus the global
+// clock. Drivers spawn one body per processor, call Run, then read the
+// per-processor accounts and the makespan.
+type Machine interface {
+	// Spawn adds a processor whose behaviour is body. IDs are assigned
+	// densely in spawn order. All Spawn calls must precede Run.
+	Spawn(name string, body func(Endpoint))
+	// Run executes all processor bodies to completion and returns the first
+	// processor panic (if any) as an error.
+	Run() error
+	// Stop asks the machine to wind down early: remaining work is abandoned
+	// and blocked processors are torn down.
+	Stop()
+	// NumProcs returns the number of spawned processors.
+	NumProcs() int
+	// Now returns the machine's current time.
+	Now() Time
+	// Makespan returns the latest processor finish time; only meaningful
+	// after Run returns.
+	Makespan() Time
+	// Account returns processor i's time ledger; read it after Run.
+	Account(i int) *Account
+}

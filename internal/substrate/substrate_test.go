@@ -1,0 +1,88 @@
+package substrate
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		t       Time
+		seconds float64
+		millis  float64
+		str     string
+	}{
+		{0, 0, 0, "0.000s"},
+		{Second, 1, 1000, "1.000s"},
+		{1500 * Millisecond, 1.5, 1500, "1.500s"},
+		{250 * Microsecond, 0.00025, 0.25, "0.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.Seconds(); got != c.seconds {
+			t.Errorf("%d.Seconds() = %v, want %v", int64(c.t), got, c.seconds)
+		}
+		if got := c.t.Millis(); got != c.millis {
+			t.Errorf("%d.Millis() = %v, want %v", int64(c.t), got, c.millis)
+		}
+		if got := c.t.String(); got != c.str {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.str)
+		}
+	}
+}
+
+func TestTimeDurationRoundTrip(t *testing.T) {
+	d := 1500 * time.Millisecond
+	if got := FromDuration(d); got != 1500*Millisecond {
+		t.Fatalf("FromDuration(%v) = %v", d, got)
+	}
+	if got := (1500 * Millisecond).Duration(); got != d {
+		t.Fatalf("Duration() = %v, want %v", got, d)
+	}
+}
+
+func TestScale(t *testing.T) {
+	cases := []struct {
+		in   Time
+		f    float64
+		want Time
+	}{
+		{Second, 2.0, 2 * Second},
+		{Second, 0.5, 500 * Millisecond},
+		{10 * Second, 1.2, 12 * Second},
+		{3, 0.5, 1}, // rounds toward zero
+	}
+	for _, c := range cases {
+		if got := Scale(c.in, c.f); got != c.want {
+			t.Errorf("Scale(%v, %v) = %v, want %v", c.in, c.f, got, c.want)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if CatCompute.String() != "Computation" || CatSync.String() != "Sync" {
+		t.Fatalf("category names wrong: %q %q", CatCompute, CatSync)
+	}
+	if Category(-1).String() != "Unknown" || NumCategories.String() != "Unknown" {
+		t.Fatal("out-of-range categories should stringify as Unknown")
+	}
+}
+
+func TestAccount(t *testing.T) {
+	var a Account
+	a[CatCompute] = 10 * Second
+	a[CatIdle] = 2 * Second
+	a[CatMessaging] = Second
+	a[CatScheduling] = 500 * Millisecond
+	if got := a.Total(); got != 13500*Millisecond {
+		t.Fatalf("Total = %v", got)
+	}
+	if got := a.Overhead(); got != 1500*Millisecond {
+		t.Fatalf("Overhead = %v", got)
+	}
+	var b Account
+	b[CatCompute] = Second
+	a.Add(&b)
+	if a[CatCompute] != 11*Second {
+		t.Fatalf("Add: compute = %v", a[CatCompute])
+	}
+}
