@@ -3,11 +3,15 @@
 //
 // Usage:
 //
-//	figures [-fig N] [-procs P] [-units-per-proc U] [-stride S] [-summary]
+//	figures [-fig N] [-procs P] [-units-per-proc U] [-stride S] [-jobs J]
 //
 // With no -fig, all four figures run. -stride 0 suppresses the per-processor
 // breakdown tables (the summary lines always print). -fig 1 prints the
 // paper's Figure 1 taxonomy table.
+//
+// The 24 simulations of the full sweep are independent; -jobs (default: one
+// per CPU) fans them out across cores. Output is byte-identical for any
+// -jobs value.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"path/filepath"
 
 	"prema/internal/bench"
+	"prema/internal/sweep"
 )
 
 const taxonomy = `Figure 1 — Using synchronization as a criterion for system classification
@@ -33,9 +38,22 @@ func main() {
 	procs := flag.Int("procs", 128, "simulated processors")
 	upp := flag.Int("units-per-proc", 128, "work units per processor")
 	stride := flag.Int("stride", 8, "per-processor breakdown sampling stride (0 = summaries only)")
+	jobs := flag.Int("jobs", sweep.DefaultJobs(), "max simulations in flight (1 = serial)")
 	csvDir := flag.String("csv", "", "directory to write per-system breakdown CSVs into (plots)")
 	flag.Parse()
 
+	if *procs < 1 || *upp < 1 {
+		fmt.Fprintf(os.Stderr, "figures: -procs and -units-per-proc must be positive (got %d, %d)\n", *procs, *upp)
+		os.Exit(2)
+	}
+	if *stride < 0 {
+		fmt.Fprintf(os.Stderr, "figures: -stride must be >= 0 (got %d)\n", *stride)
+		os.Exit(2)
+	}
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "figures: -jobs must be >= 1 (got %d)\n", *jobs)
+		os.Exit(2)
+	}
 	if *fig == 1 {
 		fmt.Print(taxonomy)
 		return
@@ -47,16 +65,16 @@ func main() {
 		s, err := bench.FigureByID(*fig)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(2)
 		}
 		specs = []bench.FigureSpec{s}
 	}
-	for _, spec := range specs {
-		fr, err := bench.RunFigure(spec, *procs, *upp)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	runs, err := bench.RunFigures(specs, *procs, *upp, *jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, fr := range runs {
 		fmt.Println(fr.Report(*stride))
 		if *csvDir != "" {
 			if err := writeCSVs(*csvDir, fr); err != nil {

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	meshgen [-procs 32] [-iters 12] [-real] [-stride 4]
+//	meshgen [-procs 32] [-iters 12] [-real] [-stride 4] [-jobs J]
 //
 // -real runs the actual advancing front mesher for every
 // (subdomain, crack position) pair to build the workload matrix (slower);
@@ -22,6 +22,7 @@ import (
 
 	"prema/internal/bench"
 	"prema/internal/sim"
+	"prema/internal/sweep"
 )
 
 func main() {
@@ -29,7 +30,17 @@ func main() {
 	iters := flag.Int("iters", 12, "crack growth iterations")
 	real := flag.Bool("real", false, "run the real advancing front mesher for the cost matrix")
 	stride := flag.Int("stride", 0, "per-processor breakdown sampling stride (0 = summaries only)")
+	jobs := flag.Int("jobs", sweep.DefaultJobs(), "max concurrent mesher rows / simulations (1 = serial)")
 	flag.Parse()
+
+	if *procs < 1 || *iters < 1 {
+		fmt.Fprintf(os.Stderr, "meshgen: -procs and -iters must be positive (got %d, %d)\n", *procs, *iters)
+		os.Exit(2)
+	}
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "meshgen: -jobs must be >= 1 (got %d)\n", *jobs)
+		os.Exit(2)
+	}
 
 	cfg := bench.DefaultMeshExpConfig()
 	cfg.Procs = *procs
@@ -42,20 +53,18 @@ func main() {
 	}
 	fmt.Printf("building workload matrix (%s): %d subdomains x %d iterations...\n",
 		src, cfg.NumSubdomains(), cfg.Iterations)
-	mc := bench.BuildMeshCosts(cfg)
+	mc := bench.BuildMeshCostsJobs(cfg, *jobs)
 	fmt.Printf("total work %v, ideal makespan %v on %d procs\n\n",
 		mc.TotalWork(cfg), mc.TotalWork(cfg)/sim.Time(cfg.Procs), cfg.Procs)
 
-	var results []*bench.Result
-	for _, sys := range bench.MeshSystems {
-		r, err := bench.RunMeshSystem(sys, cfg, mc)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		results = append(results, r)
+	results, err := bench.RunMeshSystems(bench.MeshSystems, cfg, mc, *jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i, r := range results {
 		fmt.Printf("  %-15s makespan=%8.1fs  overhead=%6.3f%% of runtime  sync+partition=%5.1f%% of compute\n",
-			sys, r.Makespan.Seconds(), r.OverheadOfRuntimePct(), r.SyncPct())
+			bench.MeshSystems[i], r.Makespan.Seconds(), r.OverheadOfRuntimePct(), r.SyncPct())
 		if *stride > 0 {
 			fmt.Println(r.Breakdown(*stride))
 		}

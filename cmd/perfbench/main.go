@@ -1,0 +1,277 @@
+// Command perfbench measures the simulator's host performance and the sweep
+// runner's parallel speedup, and writes the numbers to a JSON file (the
+// repository's BENCH trajectory: BENCH_PR2.json at the repo root).
+//
+// Usage:
+//
+//	perfbench [-out BENCH_PR2.json] [-procs 128] [-units-per-proc 128] \
+//	          [-jobs J] [-events 500000] [-skip-sweep]
+//
+// It reports two layers, matching the two levels of the performance work:
+//
+//   - engine: microbenchmarks of the discrete-event core — ns/event,
+//     allocs/event and events/sec for the Advance hot path, plus the
+//     simulated active-message round trip;
+//   - sweep: wall-clock time of the paper's 4-figure × 6-system evaluation
+//     campaign (24 independent simulations) run serially and with -jobs
+//     workers, with a byte-identity cross-check between the two.
+//
+// The default scale (-procs 128 -units-per-proc 128) is the paper's; use a
+// smaller scale for a quick look. Expect the full-scale run to take several
+// minutes per sweep pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"prema/internal/bench"
+	"prema/internal/dmcs"
+	"prema/internal/sim"
+	"prema/internal/sweep"
+)
+
+// Report is the schema of the emitted JSON.
+type Report struct {
+	Bench string     `json:"bench"`
+	Host  HostInfo   `json:"host"`
+	Eng   EngineInfo `json:"engine"`
+	Sweep *SweepInfo `json:"sweep,omitempty"`
+}
+
+// HostInfo records the measurement platform.
+type HostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// EngineInfo holds the hot-path microbenchmark results. Alloc counts are
+// steady-state (measured after a warm-up that fills the event free list),
+// so they can be fractional and should be ~0 after the PR2 optimizations.
+type EngineInfo struct {
+	NsPerEvent        float64 `json:"ns_per_event"`
+	AllocsPerEvent    float64 `json:"allocs_per_event"`
+	BytesPerEvent     float64 `json:"bytes_per_event"`
+	EventsPerSec      float64 `json:"events_per_sec"`
+	AMRoundTripNs     float64 `json:"am_roundtrip_ns"`
+	AMRoundTripAllocs float64 `json:"am_roundtrip_allocs"`
+}
+
+// SweepInfo holds the serial vs parallel campaign timing.
+type SweepInfo struct {
+	Figures          []int    `json:"figures"`
+	Systems          []string `json:"systems"`
+	Simulations      int      `json:"simulations"`
+	Procs            int      `json:"procs"`
+	UnitsPerProc     int      `json:"units_per_proc"`
+	Jobs             int      `json:"jobs"`
+	SerialWallS      float64  `json:"serial_wall_s"`
+	ParallelWallS    float64  `json:"parallel_wall_s"`
+	Speedup          float64  `json:"speedup"`
+	OutputsIdentical bool     `json:"outputs_identical"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	procs := flag.Int("procs", 128, "simulated processors for the sweep timing")
+	upp := flag.Int("units-per-proc", 128, "work units per processor for the sweep timing")
+	jobs := flag.Int("jobs", sweep.DefaultJobs(), "parallel sweep worker count")
+	events := flag.Int("events", 500_000, "microbenchmark event count")
+	skipSweep := flag.Bool("skip-sweep", false, "measure only the engine microbenchmarks")
+	flag.Parse()
+
+	if *procs < 1 || *upp < 1 || *jobs < 1 || *events < 1 {
+		fmt.Fprintln(os.Stderr, "perfbench: -procs, -units-per-proc, -jobs and -events must be positive")
+		os.Exit(2)
+	}
+
+	rep := Report{
+		Bench: "PR2",
+		Host: HostInfo{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+	}
+
+	fmt.Printf("perfbench: engine microbenchmarks (%d events)...\n", *events)
+	rep.Eng = measureEngine(*events)
+	fmt.Printf("  advance:  %8.1f ns/event  %.4f allocs/event  %.1f B/event  %.2fM events/s\n",
+		rep.Eng.NsPerEvent, rep.Eng.AllocsPerEvent, rep.Eng.BytesPerEvent, rep.Eng.EventsPerSec/1e6)
+	fmt.Printf("  AM trip:  %8.1f ns/msg    %.4f allocs/msg\n", rep.Eng.AMRoundTripNs, rep.Eng.AMRoundTripAllocs)
+
+	if !*skipSweep {
+		info, err := measureSweep(*procs, *upp, *jobs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		rep.Sweep = info
+		fmt.Printf("  sweep:    serial %.1fs  parallel(jobs=%d) %.1fs  speedup %.2fx  identical=%v\n",
+			info.SerialWallS, info.Jobs, info.ParallelWallS, info.Speedup, info.OutputsIdentical)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("perfbench: wrote %s\n", *out)
+}
+
+// probe is one steady-state measurement window: a warm-up phase (filling the
+// event free list and runtime caches), then n operations bracketed by
+// ReadMemStats and a wall clock.
+type probe struct {
+	n      int
+	dur    time.Duration
+	allocs uint64
+	bytes  uint64
+}
+
+func (pr *probe) begin() (runtime.MemStats, time.Time) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m, time.Now()
+}
+
+func (pr *probe) end(m0 runtime.MemStats, t0 time.Time) {
+	pr.dur = time.Since(t0)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	pr.allocs = m1.Mallocs - m0.Mallocs
+	pr.bytes = m1.TotalAlloc - m0.TotalAlloc
+}
+
+// measureEngine runs the two hot-path microbenchmarks: the Advance event
+// loop (one typed wake event per op) and the dmcs active-message round trip
+// (two sends, two deliveries, two polls per op).
+func measureEngine(events int) EngineInfo {
+	const warm = 10_000
+	adv := probe{n: events}
+	{
+		e := sim.NewEngine(sim.Config{Seed: 1})
+		e.Spawn("p", func(p *sim.Proc) {
+			for i := 0; i < warm; i++ {
+				p.Advance(sim.Microsecond, sim.CatCompute)
+			}
+			m0, t0 := adv.begin()
+			for i := 0; i < adv.n; i++ {
+				p.Advance(sim.Microsecond, sim.CatCompute)
+			}
+			adv.end(m0, t0)
+		})
+		if err := e.Run(); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench: advance probe:", err)
+			os.Exit(1)
+		}
+	}
+	am := probe{n: events / 4}
+	{
+		e := sim.NewEngine(sim.Config{Seed: 1})
+		rounds := warm + am.n
+		e.Spawn("pong", func(p *sim.Proc) {
+			c := dmcs.New(p)
+			var h dmcs.HandlerID
+			h = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+				if data.(int) > 0 {
+					c.Send(src, h, data.(int)-1, 8)
+				}
+			})
+			for i := 0; i < rounds; i++ {
+				c.WaitPoll(sim.CatIdle)
+			}
+		})
+		e.Spawn("ping", func(p *sim.Proc) {
+			c := dmcs.New(p)
+			var h dmcs.HandlerID
+			h = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+				if data.(int) > 0 {
+					c.Send(src, h, data.(int)-1, 8)
+				}
+			})
+			c.Send(0, h, 2*rounds, 8)
+			for i := 0; i < warm; i++ {
+				c.WaitPoll(sim.CatIdle)
+			}
+			m0, t0 := am.begin()
+			for i := 0; i < am.n; i++ {
+				c.WaitPoll(sim.CatIdle)
+			}
+			am.end(m0, t0)
+		})
+		if err := e.Run(); err != nil && err != sim.ErrDeadlock {
+			fmt.Fprintln(os.Stderr, "perfbench: AM probe:", err) // tail messages may strand one poller
+		}
+	}
+	info := EngineInfo{
+		NsPerEvent:        float64(adv.dur.Nanoseconds()) / float64(adv.n),
+		AllocsPerEvent:    float64(adv.allocs) / float64(adv.n),
+		BytesPerEvent:     float64(adv.bytes) / float64(adv.n),
+		AMRoundTripNs:     float64(am.dur.Nanoseconds()) / float64(am.n),
+		AMRoundTripAllocs: float64(am.allocs) / float64(am.n),
+	}
+	if info.NsPerEvent > 0 {
+		info.EventsPerSec = 1e9 / info.NsPerEvent
+	}
+	return info
+}
+
+// measureSweep times the full evaluation campaign serially and in parallel
+// and cross-checks that both produce identical reports.
+func measureSweep(procs, upp, jobs int) (*SweepInfo, error) {
+	specs := bench.Figures()
+	info := &SweepInfo{
+		Systems:      bench.SystemNames,
+		Simulations:  len(specs) * len(bench.SystemNames),
+		Procs:        procs,
+		UnitsPerProc: upp,
+		Jobs:         jobs,
+	}
+	for _, s := range specs {
+		info.Figures = append(info.Figures, s.ID)
+	}
+
+	fmt.Printf("perfbench: serial sweep (%d sims at %d procs x %d units/proc)...\n",
+		info.Simulations, procs, upp)
+	t0 := time.Now()
+	serial, err := bench.RunFigures(specs, procs, upp, 1)
+	if err != nil {
+		return nil, err
+	}
+	info.SerialWallS = time.Since(t0).Seconds()
+	fmt.Printf("  serial: %.1fs\n", info.SerialWallS)
+
+	fmt.Printf("perfbench: parallel sweep (jobs=%d)...\n", jobs)
+	t1 := time.Now()
+	parallel, err := bench.RunFigures(specs, procs, upp, jobs)
+	if err != nil {
+		return nil, err
+	}
+	info.ParallelWallS = time.Since(t1).Seconds()
+	if info.ParallelWallS > 0 {
+		info.Speedup = info.SerialWallS / info.ParallelWallS
+	}
+
+	info.OutputsIdentical = true
+	for i := range serial {
+		if serial[i].Report(0) != parallel[i].Report(0) {
+			info.OutputsIdentical = false
+		}
+	}
+	return info, nil
+}

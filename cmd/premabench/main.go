@@ -1,22 +1,28 @@
-// Command premabench runs one configuration of the paper's synthetic
-// microbenchmark (§5) and prints the per-processor time breakdown.
+// Command premabench runs configurations of the paper's synthetic
+// microbenchmark (§5) and prints the per-processor time breakdowns.
 //
 // Usage:
 //
 //	premabench -system prema-implicit -imbalance 0.5 -ratio 2.0 \
 //	           [-procs 128] [-units-per-proc 128] [-stride 8] [-hints mean] \
-//	           [-backend sim|real] [-timescale 1e-3] [-spin]
+//	           [-jobs J] [-backend sim|real] [-timescale 1e-3] [-spin]
 //
 // Systems: none, prema-explicit, prema-implicit, parmetis, charm,
 // charm-sync4 — plus prema-diffusion and prema-multilist for the policy
 // suite beyond the paper's featured work stealing.
+//
+// -system also accepts a comma-separated list (multi-system mode): the named
+// configurations all run on the same workload, up to -jobs simulations in
+// flight, and the summaries print in the order given. Simulations are
+// independent, so the output is identical for any -jobs value.
 //
 // -backend selects the execution substrate: "sim" (default) runs the
 // deterministic discrete-event simulator; "real" runs the PREMA systems with
 // genuine parallelism, one goroutine per processor, burning scaled
 // wall-clock (-timescale wall seconds per virtual second; -spin busy-waits
 // instead of sleeping). The baseline system models (parmetis, charm*) are
-// simulator-only.
+// simulator-only, and multi-system mode is too: concurrent wall-clock runs
+// would distort each other's timing.
 package main
 
 import (
@@ -28,67 +34,109 @@ import (
 	"prema/internal/bench"
 	"prema/internal/rtm"
 	"prema/internal/substrate"
+	"prema/internal/sweep"
 )
 
 func main() {
-	system := flag.String("system", "prema-implicit", "system configuration to run")
+	system := flag.String("system", "prema-implicit", "system configuration(s) to run, comma-separated")
 	imb := flag.Float64("imbalance", 0.5, "initial imbalance percentage (fraction of heavy units)")
 	ratio := flag.Float64("ratio", 2.0, "heavy/light weight ratio")
 	procs := flag.Int("procs", 128, "simulated processors")
 	upp := flag.Int("units-per-proc", 128, "work units per processor")
 	stride := flag.Int("stride", 8, "breakdown sampling stride (0 = summary only)")
 	hints := flag.String("hints", "mean", "weight hints given to balancers: mean | accurate")
+	jobs := flag.Int("jobs", sweep.DefaultJobs(), "multi-system mode: max simulations in flight")
 	backend := flag.String("backend", "sim", "execution substrate: sim (deterministic) | real (goroutines)")
 	timescale := flag.Float64("timescale", 1e-3, "real backend: wall seconds per virtual second")
 	spin := flag.Bool("spin", false, "real backend: busy-wait instead of sleeping")
 	flag.Parse()
 
-	w := bench.PaperWorkload(bench.FigureSpec{ID: 0, Imbalance: *imb, Ratio: *ratio}, *procs, *upp)
-	if *hints == "accurate" {
-		w.Hints = bench.HintAccurate
+	if *procs < 1 || *upp < 1 {
+		fmt.Fprintf(os.Stderr, "premabench: -procs and -units-per-proc must be positive (got %d, %d)\n", *procs, *upp)
+		os.Exit(2)
 	}
-	var (
-		r   *bench.Result
-		err error
-	)
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "premabench: -jobs must be >= 1 (got %d)\n", *jobs)
+		os.Exit(2)
+	}
+	w := bench.PaperWorkload(bench.FigureSpec{ID: 0, Imbalance: *imb, Ratio: *ratio}, *procs, *upp)
+	switch *hints {
+	case "mean":
+		w.Hints = bench.HintMean
+	case "accurate":
+		w.Hints = bench.HintAccurate
+	default:
+		fmt.Fprintf(os.Stderr, "premabench: unknown -hints %q (want mean or accurate)\n", *hints)
+		os.Exit(2)
+	}
+	systems := strings.Split(*system, ",")
+	for i, s := range systems {
+		systems[i] = strings.TrimSpace(s)
+	}
+
+	var results []*bench.Result
+	var err error
 	switch *backend {
 	case "sim":
-		switch *system {
-		case "prema-diffusion", "prema-multilist", "prema-worksteal":
-			r, err = bench.RunPremaPolicy(w, (*system)[len("prema-"):])
-		default:
-			r, err = bench.RunSystem(*system, w)
-		}
+		results, err = sweep.Map(*jobs, len(systems), func(i int) (*bench.Result, error) {
+			return runSim(systems[i], w)
+		})
 	case "real":
-		if !strings.HasPrefix(*system, "prema") && *system != "none" {
-			fmt.Fprintf(os.Stderr, "system %q models a third-party runtime and is simulator-only; use -backend=sim\n", *system)
+		if len(systems) > 1 {
+			fmt.Fprintln(os.Stderr, "premabench: multi-system mode is simulator-only; use -backend=sim")
 			os.Exit(2)
 		}
-		cfg := rtm.DefaultConfig()
-		cfg.Seed = w.Seed
-		cfg.TimeScale = *timescale
-		cfg.Spin = *spin
-		var m substrate.Machine = rtm.New(cfg)
-		switch *system {
-		case "prema-diffusion", "prema-multilist", "prema-worksteal":
-			r, err = bench.RunPremaPolicyOn(m, w, (*system)[len("prema-"):])
-		default:
-			r, err = bench.RunSystemOn(*system, m, w)
-		}
+		var r *bench.Result
+		r, err = runReal(systems[0], w, *timescale, *spin)
+		results = []*bench.Result{r}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown backend %q (want sim or real)\n", *backend)
+		fmt.Fprintf(os.Stderr, "premabench: unknown backend %q (want sim or real)\n", *backend)
 		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Println(r.Summary())
-	if *stride > 0 {
-		fmt.Println()
-		fmt.Println(r.Breakdown(*stride))
+	for _, r := range results {
+		fmt.Println(r.Summary())
 	}
-	if len(r.Counters) > 0 {
-		fmt.Printf("counters: %v\n", r.Counters)
+	for _, r := range results {
+		if *stride > 0 {
+			fmt.Println()
+			fmt.Println(r.Breakdown(*stride))
+		}
+		if len(r.Counters) > 0 {
+			fmt.Printf("counters (%s): %v\n", r.System, r.Counters)
+		}
+	}
+}
+
+// runSim runs one system configuration on the deterministic simulator.
+func runSim(system string, w bench.Workload) (*bench.Result, error) {
+	switch system {
+	case "prema-diffusion", "prema-multilist", "prema-worksteal":
+		return bench.RunPremaPolicy(w, system[len("prema-"):])
+	default:
+		return bench.RunSystem(system, w)
+	}
+}
+
+// runReal runs one PREMA system configuration on the real-concurrency
+// backend.
+func runReal(system string, w bench.Workload, timescale float64, spin bool) (*bench.Result, error) {
+	if !strings.HasPrefix(system, "prema") && system != "none" {
+		fmt.Fprintf(os.Stderr, "system %q models a third-party runtime and is simulator-only; use -backend=sim\n", system)
+		os.Exit(2)
+	}
+	cfg := rtm.DefaultConfig()
+	cfg.Seed = w.Seed
+	cfg.TimeScale = timescale
+	cfg.Spin = spin
+	var m substrate.Machine = rtm.New(cfg)
+	switch system {
+	case "prema-diffusion", "prema-multilist", "prema-worksteal":
+		return bench.RunPremaPolicyOn(m, w, system[len("prema-"):])
+	default:
+		return bench.RunSystemOn(system, m, w)
 	}
 }

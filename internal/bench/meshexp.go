@@ -13,6 +13,7 @@ import (
 	"prema/internal/parmetis"
 	"prema/internal/policy"
 	"prema/internal/sim"
+	"prema/internal/sweep"
 )
 
 // MeshExpConfig configures the paper's mesh-generation experiment (§5): a
@@ -96,11 +97,16 @@ func (mc *MeshCosts) TotalWork(cfg MeshExpConfig) sim.Time {
 // BuildMeshCosts generates the workload matrix by actually meshing (or
 // estimating) every subdomain at every crack position. The same matrix is
 // shared by all three system drivers, so the comparison is exact.
-func BuildMeshCosts(cfg MeshExpConfig) *MeshCosts {
+func BuildMeshCosts(cfg MeshExpConfig) *MeshCosts { return BuildMeshCostsJobs(cfg, 1) }
+
+// BuildMeshCostsJobs is BuildMeshCosts with up to jobs crack positions
+// meshed concurrently. The mesher is deterministic and each iteration's row
+// is independent, so the matrix is identical for any worker count.
+func BuildMeshCostsJobs(cfg MeshExpConfig, jobs int) *MeshCosts {
 	domain := mesh.Box{Lo: mesh.Vec3{X: 0, Y: 0, Z: 0}, Hi: mesh.Vec3{X: 2, Y: 1, Z: 1}}
 	subs := mesh.Decompose(domain, cfg.Grid[0], cfg.Grid[1], cfg.Grid[2])
 	mc := &MeshCosts{Subs: subs}
-	for it := 0; it < cfg.Iterations; it++ {
+	rows, err := sweep.Map(jobs, cfg.Iterations, func(it int) ([]float64, error) {
 		crack := cfg.crackAt(domain, it)
 		row := make([]float64, len(subs))
 		for s, b := range subs {
@@ -111,8 +117,12 @@ func BuildMeshCosts(cfg MeshExpConfig) *MeshCosts {
 				row[s] = mesh.EstimateElements(b, crack, 6)
 			}
 		}
-		mc.Tets = append(mc.Tets, row)
+		return row, nil
+	})
+	if err != nil { // the row builder never errors; sweep only adds panics
+		panic(err)
 	}
+	mc.Tets = rows
 	return mc
 }
 

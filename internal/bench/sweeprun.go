@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+
+	"prema/internal/sweep"
+)
+
+// This file fans the evaluation campaigns out across cores. Every sweep
+// point is an independent simulation (own engine, own seeded RNGs), so the
+// only coordination needed is the worker pool; internal/sweep's ordering
+// guarantee makes the parallel output byte-identical to the serial one.
+
+// RunFigures runs the full (figure × system) grid for the given specs with
+// at most jobs simulations in flight, returning FigureRuns in spec order
+// with Results ordered as SystemNames — exactly what serial RunFigure calls
+// would produce. jobs < 1 selects sweep.DefaultJobs(); jobs == 1 is the
+// serial path.
+func RunFigures(specs []FigureSpec, procs, unitsPerProc, jobs int) ([]*FigureRun, error) {
+	nsys := len(SystemNames)
+	results, err := sweep.Map(jobs, len(specs)*nsys, func(i int) (*Result, error) {
+		spec, name := specs[i/nsys], SystemNames[i%nsys]
+		r, err := RunSystem(name, PaperWorkload(spec, procs, unitsPerProc))
+		if err != nil {
+			return nil, fmt.Errorf("figure %d: %w", spec.ID, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]*FigureRun, len(specs))
+	for fi, spec := range specs {
+		runs[fi] = &FigureRun{
+			Spec:    spec,
+			W:       PaperWorkload(spec, procs, unitsPerProc),
+			Results: results[fi*nsys : (fi+1)*nsys],
+		}
+	}
+	return runs, nil
+}
+
+// RunSystems runs several named system configurations on the same workload
+// with at most jobs simulations in flight, returning results in input order.
+func RunSystems(names []string, w Workload, jobs int) ([]*Result, error) {
+	return sweep.Map(jobs, len(names), func(i int) (*Result, error) {
+		return RunSystem(names[i], w)
+	})
+}
+
+// RunMeshSystems runs the mesh experiment's regimes over one prebuilt cost
+// matrix with at most jobs simulations in flight, returning results in
+// input order. The cost matrix is shared read-only across the regimes.
+func RunMeshSystems(systems []string, cfg MeshExpConfig, mc *MeshCosts, jobs int) ([]*Result, error) {
+	return sweep.Map(jobs, len(systems), func(i int) (*Result, error) {
+		return RunMeshSystem(systems[i], cfg, mc)
+	})
+}

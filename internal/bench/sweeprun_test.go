@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestSweepMatchesSerial: the parallel sweep runner must produce exactly the
+// results of serial RunFigure calls — same ordering, same summaries, same
+// per-processor ledgers — for any worker count. This is the repository's
+// guarantee that -jobs only changes wall-clock time, never output.
+func TestSweepMatchesSerial(t *testing.T) {
+	specs := Figures()
+	const procs, upp = 8, 8
+
+	var serial []*FigureRun
+	for _, spec := range specs {
+		fr, err := RunFigure(spec, procs, upp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = append(serial, fr)
+	}
+
+	parallel, err := RunFigures(specs, procs, upp, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("figure runs: %d vs %d", len(parallel), len(serial))
+	}
+	for fi := range serial {
+		s, p := serial[fi], parallel[fi]
+		if s.Spec != p.Spec || s.W != p.W {
+			t.Fatalf("figure %d: spec/workload differ", s.Spec.ID)
+		}
+		if len(p.Results) != len(SystemNames) {
+			t.Fatalf("figure %d: %d results", s.Spec.ID, len(p.Results))
+		}
+		for si := range s.Results {
+			a, b := s.Results[si], p.Results[si]
+			if a.System != b.System {
+				t.Fatalf("figure %d result %d: ordering differs: %s vs %s", s.Spec.ID, si, a.System, b.System)
+			}
+			if a.Summary() != b.Summary() {
+				t.Fatalf("figure %d %s: summaries differ:\n%s\n%s", s.Spec.ID, a.System, a.Summary(), b.Summary())
+			}
+			if a.Makespan != b.Makespan {
+				t.Fatalf("figure %d %s: makespan %v vs %v", s.Spec.ID, a.System, a.Makespan, b.Makespan)
+			}
+			for pi := range a.Accounts {
+				if a.Accounts[pi] != b.Accounts[pi] {
+					t.Fatalf("figure %d %s proc %d: ledgers differ", s.Spec.ID, a.System, pi)
+				}
+			}
+			for k, v := range a.Counters {
+				if b.Counters[k] != v {
+					t.Fatalf("figure %d %s: counter %s: %d vs %d", s.Spec.ID, a.System, k, v, b.Counters[k])
+				}
+			}
+		}
+	}
+}
+
+// TestRunSystemsOrdering: multi-system mode preserves input order and
+// reports unknown systems fail-fast.
+func TestRunSystemsOrdering(t *testing.T) {
+	w := PaperWorkload(FigureSpec{ID: 3, Imbalance: 0.5, Ratio: 2.0}, 4, 4)
+	names := []string{"charm", "none", "prema-implicit"}
+	rs, err := RunSystems(names, w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.System != names[i] {
+			t.Fatalf("result %d = %s, want %s", i, r.System, names[i])
+		}
+	}
+	if _, err := RunSystems([]string{"none", "bogus"}, w, 4); err == nil {
+		t.Fatal("expected error for unknown system")
+	}
+}
+
+// TestMeshCostsJobsIdentical: the cost matrix is identical for any worker
+// count, and the parallel mesh-system runner matches the serial driver.
+func TestMeshCostsJobsIdentical(t *testing.T) {
+	cfg := quickMeshConfig()
+	a := BuildMeshCosts(cfg)
+	b := BuildMeshCostsJobs(cfg, 8)
+	if len(a.Tets) != len(b.Tets) {
+		t.Fatalf("rows: %d vs %d", len(a.Tets), len(b.Tets))
+	}
+	for it := range a.Tets {
+		for s := range a.Tets[it] {
+			if a.Tets[it][s] != b.Tets[it][s] {
+				t.Fatalf("cost[%d][%d]: %v vs %v", it, s, a.Tets[it][s], b.Tets[it][s])
+			}
+		}
+	}
+	serial, err := RunMeshSystem("prema-implicit", cfg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunMeshSystems(MeshSystems, cfg, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(MeshSystems) {
+		t.Fatalf("results = %d", len(par))
+	}
+	if par[1].System != "prema-implicit" || par[1].Makespan != serial.Makespan {
+		t.Fatalf("parallel mesh run diverged: %v vs %v", par[1].Makespan, serial.Makespan)
+	}
+	if _, err := RunMeshSystems([]string{"nope"}, cfg, a, 1); err == nil {
+		t.Fatal("expected error for unknown mesh system")
+	}
+}

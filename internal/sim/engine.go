@@ -39,6 +39,7 @@ type Engine struct {
 	now     Time
 	heap    eventHeap
 	seq     uint64
+	free    *event // recycled fired events (intrusive list via event.next)
 	procs   []*Proc
 	net     *network
 	rng     *rand.Rand
@@ -56,9 +57,10 @@ func NewEngine(cfg Config) *Engine {
 		cfg.Network = DefaultNetwork()
 	}
 	return &Engine{
-		cfg: cfg,
-		net: newNetwork(cfg.Network),
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+		cfg:  cfg,
+		heap: eventHeap{ev: make([]*event, 0, 1024)},
+		net:  newNetwork(cfg.Network),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -78,12 +80,76 @@ func (e *Engine) Proc(i int) *Proc { return e.procs[i] }
 // After schedules fn to run d from now on the engine's event loop.
 func (e *Engine) After(d Time, fn func()) { e.at(d, fn) }
 
-func (e *Engine) at(d Time, fn func()) {
+// alloc takes an event from the free list, or heap-allocates when the list
+// is empty (cold start and queue-depth high-water marks only).
+func (e *Engine) alloc(d Time) *event {
 	if d < 0 {
 		d = 0
 	}
 	e.seq++
-	e.heap.Push(&event{at: e.now + d, seq: e.seq, fire: fn})
+	ev := e.free
+	if ev == nil {
+		ev = &event{}
+	} else {
+		e.free = ev.next
+		ev.next = nil
+	}
+	ev.at = e.now + d
+	ev.seq = e.seq
+	return ev
+}
+
+// release returns a fired event to the free list, dropping its operand
+// references so recycled events retain nothing.
+func (e *Engine) release(ev *event) {
+	*ev = event{next: e.free}
+	e.free = ev
+}
+
+func (e *Engine) at(d Time, fn func()) {
+	ev := e.alloc(d)
+	ev.kind = evFunc
+	ev.fn = fn
+	e.heap.Push(ev)
+}
+
+// atWake schedules proc.wakeIf(gen) at now+d without allocating a closure.
+func (e *Engine) atWake(d Time, p *Proc, gen uint64) {
+	ev := e.alloc(d)
+	ev.kind = evWake
+	ev.proc = p
+	ev.gen = gen
+	e.heap.Push(ev)
+}
+
+// atDeliver schedules delivery of m at now+d without allocating a closure.
+func (e *Engine) atDeliver(d Time, m *Msg) {
+	ev := e.alloc(d)
+	ev.kind = evDeliver
+	ev.msg = m
+	e.heap.Push(ev)
+}
+
+// atTransfer schedules a control handoff to p at now+d.
+func (e *Engine) atTransfer(d Time, p *Proc) {
+	ev := e.alloc(d)
+	ev.kind = evTransfer
+	ev.proc = p
+	e.heap.Push(ev)
+}
+
+// fire dispatches one popped event.
+func (e *Engine) fire(ev *event) {
+	switch ev.kind {
+	case evWake:
+		ev.proc.wakeIf(ev.gen)
+	case evDeliver:
+		e.deliver(ev.msg)
+	case evTransfer:
+		e.transfer(ev.proc)
+	default:
+		ev.fn()
+	}
 }
 
 // Stop ends the simulation after the currently firing event completes.
@@ -124,7 +190,7 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 		p.finishedAt = e.now
 		p.parked <- struct{}{}
 	}()
-	e.at(0, func() { e.transfer(p) })
+	e.atTransfer(0, p)
 	return p
 }
 
@@ -159,7 +225,8 @@ func (e *Engine) Run() error {
 			panic("sim: event scheduled in the past")
 		}
 		e.now = ev.at
-		ev.fire()
+		e.fire(ev)
+		e.release(ev)
 	}
 	var stuck []string
 	for _, p := range e.procs {
@@ -195,7 +262,7 @@ func (e *Engine) teardown() {
 func (e *Engine) deliver(m *Msg) {
 	p := e.procs[m.Dst]
 	m.ArrivedAt = e.now
-	p.inbox = append(p.inbox, m)
+	p.inbox.push(m)
 	if p.blocked && p.waitingMsg {
 		p.waitGen++ // invalidate any pending wait timeout
 		e.transfer(p)

@@ -71,6 +71,107 @@ func TestHeapInterleavedPushPop(t *testing.T) {
 	}
 }
 
+// binaryHeap is the pre-optimization 2-ary event heap, kept here as the
+// reference implementation: because (at, seq) is a total order, any correct
+// min-heap must pop the exact same sequence, so the 4-ary production heap is
+// property-tested against it below.
+type binaryHeap struct {
+	ev []*event
+}
+
+func (h *binaryHeap) less(i, j int) bool {
+	a, b := h.ev[i], h.ev[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *binaryHeap) Push(e *event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+func (h *binaryHeap) Pop() *event {
+	n := len(h.ev)
+	if n == 0 {
+		return nil
+	}
+	top := h.ev[0]
+	h.ev[0] = h.ev[n-1]
+	h.ev[n-1] = nil
+	h.ev = h.ev[:n-1]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < len(h.ev) && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < len(h.ev) && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return top
+		}
+		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		i = smallest
+	}
+}
+
+// TestQuaternaryMatchesBinaryHeap: on random inputs — with deliberately many
+// duplicate timestamps, and interleaved pushes and pops — the 4-ary heap
+// pops events in exactly the (at, seq) order of the reference binary heap.
+func TestQuaternaryMatchesBinaryHeap(t *testing.T) {
+	f := func(times []int16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var quad eventHeap
+		var bin binaryHeap
+		var seq uint64
+		push := func(raw int16) {
+			seq++
+			tm := Time(raw % 64) // force heavy timestamp collisions
+			if tm < 0 {
+				tm = -tm
+			}
+			quad.Push(&event{at: tm, seq: seq})
+			bin.Push(&event{at: tm, seq: seq})
+		}
+		checkPop := func() bool {
+			q, b := quad.Pop(), bin.Pop()
+			if q == nil || b == nil {
+				return q == nil && b == nil
+			}
+			return q.at == b.at && q.seq == b.seq
+		}
+		for _, raw := range times {
+			push(raw)
+			if rng.Intn(3) == 0 {
+				if !checkPop() {
+					return false
+				}
+			}
+		}
+		for quad.Len() > 0 || len(bin.ev) > 0 {
+			if !checkPop() {
+				return false
+			}
+		}
+		return checkPop() // both empty
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestHeapPeek(t *testing.T) {
 	var h eventHeap
 	if h.Peek() != nil || h.Pop() != nil {

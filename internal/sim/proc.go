@@ -27,7 +27,7 @@ type Proc struct {
 	done       bool
 	finishedAt Time
 
-	inbox []*Msg
+	inbox msgRing
 	acct  Account
 }
 
@@ -91,8 +91,7 @@ func (p *Proc) Advance(d Time, cat Category) {
 		return
 	}
 	p.waitGen++
-	gen := p.waitGen
-	p.eng.at(d, func() { p.wakeIf(gen) })
+	p.eng.atWake(d, p, p.waitGen)
 	p.park(cat)
 }
 
@@ -112,16 +111,16 @@ func (p *Proc) Send(m *Msg, cat Category) {
 // It is used by Send after overhead accounting and by engine-side services.
 func (e *Engine) post(m *Msg) {
 	arrival := e.net.arrivalTime(e.now, m.Src, m.Dst, m.Size)
-	e.at(arrival-e.now, func() { e.deliver(m) })
+	e.atDeliver(arrival-e.now, m)
 }
 
 // InboxLen returns the number of queued, undelivered-to-application messages.
-func (p *Proc) InboxLen() int { return len(p.inbox) }
+func (p *Proc) InboxLen() int { return p.inbox.Len() }
 
 // HasMsg reports whether any queued message carries the given tag.
 func (p *Proc) HasMsg(tag int) bool {
-	for _, m := range p.inbox {
-		if m.Tag == tag {
+	for i := 0; i < p.inbox.Len(); i++ {
+		if p.inbox.at(i).Tag == tag {
 			return true
 		}
 	}
@@ -131,14 +130,10 @@ func (p *Proc) HasMsg(tag int) bool {
 // TryRecv pops the oldest queued message, charging receive CPU overhead to
 // cat. It returns nil when the inbox is empty.
 func (p *Proc) TryRecv(cat Category) *Msg {
-	if len(p.inbox) == 0 {
+	if p.inbox.Len() == 0 {
 		return nil
 	}
-	m := p.inbox[0]
-	p.inbox = p.inbox[1:]
-	if len(p.inbox) == 0 {
-		p.inbox = nil // let the backing array be reclaimed
-	}
+	m := p.inbox.popFront()
 	if o := p.eng.cfg.Network.RecvCPU; o > 0 {
 		p.Advance(o, cat)
 	}
@@ -150,9 +145,9 @@ func (p *Proc) TryRecv(cat Category) *Msg {
 // message is queued. This implements PREMA's separation of system
 // (load-balancer) traffic from application traffic (§4.2 of the paper).
 func (p *Proc) TryRecvTag(tag int, cat Category) *Msg {
-	for i, m := range p.inbox {
-		if m.Tag == tag {
-			p.inbox = append(p.inbox[:i], p.inbox[i+1:]...)
+	for i := 0; i < p.inbox.Len(); i++ {
+		if p.inbox.at(i).Tag == tag {
+			m := p.inbox.removeAt(i)
 			if o := p.eng.cfg.Network.RecvCPU; o > 0 {
 				p.Advance(o, cat)
 			}
@@ -173,7 +168,7 @@ func (p *Proc) Recv(waitCat Category) *Msg {
 // WaitMsg blocks until at least one message is queued, attributing the wait
 // to cat.
 func (p *Proc) WaitMsg(cat Category) {
-	for len(p.inbox) == 0 {
+	for p.inbox.Len() == 0 {
 		p.waitGen++
 		p.waitingMsg = true
 		p.park(cat)
@@ -185,13 +180,12 @@ func (p *Proc) WaitMsg(cat Category) {
 // wait to cat. It reports whether a message is available.
 func (p *Proc) WaitMsgFor(d Time, cat Category) bool {
 	deadline := p.eng.now + d
-	for len(p.inbox) == 0 && p.eng.now < deadline {
+	for p.inbox.Len() == 0 && p.eng.now < deadline {
 		p.waitGen++
-		gen := p.waitGen
-		p.eng.at(deadline-p.eng.now, func() { p.wakeIf(gen) })
+		p.eng.atWake(deadline-p.eng.now, p, p.waitGen)
 		p.waitingMsg = true
 		p.park(cat)
 		p.waitingMsg = false
 	}
-	return len(p.inbox) > 0
+	return p.inbox.Len() > 0
 }

@@ -14,10 +14,19 @@ type Span struct {
 	From, To Time
 }
 
+// spanPrealloc is the span capacity reserved when tracing is enabled, so
+// the first tens of thousands of spans record without a single growth copy.
+const spanPrealloc = 1 << 16
+
 // EnableTracing starts recording spans. Tracing is off by default: a full
 // benchmark run produces millions of spans, so enable it only for runs you
 // intend to visualize.
-func (e *Engine) EnableTracing() { e.tracing = true }
+func (e *Engine) EnableTracing() {
+	e.tracing = true
+	if e.spans == nil {
+		e.spans = make([]Span, 0, spanPrealloc)
+	}
+}
 
 // Spans returns the recorded spans in chronological order of completion.
 func (e *Engine) Spans() []Span { return e.spans }
