@@ -1,0 +1,176 @@
+// Command chaosbench runs the paper's microbenchmark figures on a faulted
+// machine and checks that PREMA survives: with DMCS reliable delivery on,
+// every work unit must compute exactly once and every mobile object must end
+// resident on exactly one processor, no matter how lossy the network is.
+//
+// Usage:
+//
+//	chaosbench [-system prema-implicit] [-figs 3,4,5,6] \
+//	           [-procs 32] [-units-per-proc 32] \
+//	           [-fault-plan "drop=0.2,dup=0.1"] [-fault-seed 1] \
+//	           [-rto 50ms] [-backend sim|real] [-timescale 1e-2] [-spin]
+//
+// For each figure scenario it runs three configurations:
+//
+//	clean      classic fire-and-forget DMCS, no faults (the baseline)
+//	reliable   reliable delivery, no faults (protocol overhead measurement)
+//	faulted    reliable delivery on the faulted machine (the chaos run)
+//
+// and reports makespans, the reliable-mode overhead on a fault-free network,
+// retransmission counts, injected-fault counts, and the conservation check.
+// A classic (unreliable) stack on the same fault plan would lose units; the
+// point of the harness is that the reliable stack does not. Exits non-zero
+// if any run fails conservation or the application outcome diverges from
+// the clean run.
+//
+// The fault plan uses the internal/faulty syntax; see `-fault-plan ""` for a
+// clean sweep or e.g. "drop=0.2,dup=0.1;stall:2@100s+20s" to freeze a
+// processor mid-run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"prema/internal/bench"
+	"prema/internal/dmcs"
+	"prema/internal/faulty"
+	"prema/internal/substrate"
+)
+
+func main() {
+	system := flag.String("system", "prema-implicit", "PREMA system configuration (none, prema-explicit, prema-implicit)")
+	figs := flag.String("figs", "3,4,5,6", "comma-separated paper figure scenarios to run")
+	procs := flag.Int("procs", 32, "simulated processors")
+	upp := flag.Int("units-per-proc", 32, "work units per processor")
+	planS := flag.String("fault-plan", "drop=0.2,dup=0.1", "fault plan (faulty syntax; \"none\" = clean)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
+	rto := flag.Duration("rto", 50*time.Millisecond, "reliable-mode initial retransmission timeout")
+	backend := flag.String("backend", "sim", "execution substrate: sim (deterministic) | real (goroutines)")
+	timescale := flag.Float64("timescale", 1e-2, "real backend: wall seconds per virtual second")
+	spin := flag.Bool("spin", false, "real backend: busy-wait instead of sleeping")
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "chaosbench: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+	if *procs < 1 || *upp < 1 {
+		fmt.Fprintf(os.Stderr, "chaosbench: -procs and -units-per-proc must be positive (got %d, %d)\n", *procs, *upp)
+		os.Exit(2)
+	}
+	if *rto <= 0 {
+		fmt.Fprintf(os.Stderr, "chaosbench: -rto must be positive (got %v)\n", *rto)
+		os.Exit(2)
+	}
+	if *timescale <= 0 {
+		fmt.Fprintf(os.Stderr, "chaosbench: -timescale must be positive (got %g)\n", *timescale)
+		os.Exit(2)
+	}
+	if *backend != "sim" && *backend != "real" {
+		fmt.Fprintf(os.Stderr, "chaosbench: unknown backend %q (want sim or real)\n", *backend)
+		os.Exit(2)
+	}
+	plan, err := faulty.ParsePlan(*planS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaosbench:", err)
+		os.Exit(2)
+	}
+	var specs []bench.FigureSpec
+	for _, f := range strings.Split(*figs, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaosbench: bad figure %q in -figs\n", f)
+			os.Exit(2)
+		}
+		spec, err := bench.FigureByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaosbench:", err)
+			os.Exit(2)
+		}
+		specs = append(specs, spec)
+	}
+
+	rel := dmcs.DefaultRelConfig()
+	rel.RTO = substrate.FromDuration(*rto)
+
+	failed := false
+	for _, spec := range specs {
+		w := bench.PaperWorkload(spec, *procs, *upp)
+		fmt.Printf("=== Figure %d scenario: imbalance %.0f%%, heavy = %.1fx light (procs=%d, units=%d, backend=%s) ===\n",
+			spec.ID, spec.Imbalance*100, spec.Ratio, w.Procs, w.Units, *backend)
+		if !run(w, *system, plan, *faultSeed, rel, *backend, *timescale, *spin) {
+			failed = true
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// run executes the clean / reliable / faulted triple on one workload and
+// prints the comparison. Returns false if any check failed.
+func run(w bench.Workload, system string, plan faulty.Plan, faultSeed int64, rel dmcs.RelConfig, backend string, timescale float64, spin bool) bool {
+	base := bench.ChaosSpec{System: system, Backend: backend, TimeScale: timescale, Spin: spin}
+
+	relSpec := base
+	relSpec.Rel = rel
+
+	faulted := relSpec
+	faulted.Plan = plan
+	faulted.FaultSeed = faultSeed
+
+	ok := true
+	clean, _, err := bench.RunChaos(w, base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaosbench:", err)
+		return false
+	}
+	report("clean", clean, faulty.Stats{}, &ok)
+
+	relRes, _, err := bench.RunChaos(w, relSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaosbench:", err)
+		return false
+	}
+	report("reliable", relRes, faulty.Stats{}, &ok)
+	overhead := 100 * (relRes.Makespan.Seconds() - clean.Makespan.Seconds()) / clean.Makespan.Seconds()
+	fmt.Printf("  reliable-mode overhead on a fault-free network: %+.2f%% of makespan\n", overhead)
+
+	if plan.Active() {
+		fRes, fStats, err := bench.RunChaos(w, faulted)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaosbench:", err)
+			return false
+		}
+		report("faulted", fRes, fStats, &ok)
+		if fRes.Counters["units_run"] != clean.Counters["units_run"] {
+			fmt.Printf("  FAIL: faulted run computed %d units, clean run %d\n",
+				fRes.Counters["units_run"], clean.Counters["units_run"])
+			ok = false
+		}
+	}
+	return ok
+}
+
+// report prints one run's line and applies the conservation check.
+func report(label string, r *bench.Result, st faulty.Stats, ok *bool) {
+	fmt.Printf("  %-9s makespan=%9.1fs  units=%d  retransmits=%d  dup_dropped=%d",
+		label, r.Makespan.Seconds(), r.Counters["units_run"],
+		r.Counters["rel_retransmits"], r.Counters["rel_dup_dropped"])
+	if st != (faulty.Stats{}) {
+		fmt.Printf("  [injected: dropped=%d dupped=%d delayed=%d reordered=%d stalls=%d]",
+			st.Dropped, st.Dupped, st.Delayed, st.Reordered, st.Stalls)
+	}
+	if err := r.CheckConservation(); err != nil {
+		fmt.Printf("\n  FAIL: %v\n", err)
+		*ok = false
+		return
+	}
+	fmt.Println("  conservation OK")
+}

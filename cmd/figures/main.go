@@ -42,6 +42,10 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-system breakdown CSVs into (plots)")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "figures: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
 	if *procs < 1 || *upp < 1 {
 		fmt.Fprintf(os.Stderr, "figures: -procs and -units-per-proc must be positive (got %d, %d)\n", *procs, *upp)
 		os.Exit(2)

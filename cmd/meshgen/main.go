@@ -33,8 +33,16 @@ func main() {
 	jobs := flag.Int("jobs", sweep.DefaultJobs(), "max concurrent mesher rows / simulations (1 = serial)")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "meshgen: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
 	if *procs < 1 || *iters < 1 {
 		fmt.Fprintf(os.Stderr, "meshgen: -procs and -iters must be positive (got %d, %d)\n", *procs, *iters)
+		os.Exit(2)
+	}
+	if *stride < 0 {
+		fmt.Fprintf(os.Stderr, "meshgen: -stride must be >= 0 (got %d)\n", *stride)
 		os.Exit(2)
 	}
 	if *jobs < 1 {

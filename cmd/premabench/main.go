@@ -5,7 +5,15 @@
 //
 //	premabench -system prema-implicit -imbalance 0.5 -ratio 2.0 \
 //	           [-procs 128] [-units-per-proc 128] [-stride 8] [-hints mean] \
-//	           [-jobs J] [-backend sim|real] [-timescale 1e-3] [-spin]
+//	           [-jobs J] [-backend sim|real] [-timescale 1e-3] [-spin] \
+//	           [-fault-plan PLAN] [-fault-seed N] [-reliable]
+//
+// -fault-plan injects faults (message drop, duplication, delay, reordering,
+// processor stalls and crashes — see internal/faulty for the syntax) at the
+// substrate seam, and -reliable switches DMCS into reliable-delivery mode so
+// the run survives them. Both apply to the PREMA configurations only; the
+// third-party baseline models are cost models without a real transport. For
+// dedicated chaos sweeps over the paper figures see cmd/chaosbench.
 //
 // Systems: none, prema-explicit, prema-implicit, parmetis, charm,
 // charm-sync4 — plus prema-diffusion and prema-multilist for the policy
@@ -32,6 +40,8 @@ import (
 	"strings"
 
 	"prema/internal/bench"
+	"prema/internal/dmcs"
+	"prema/internal/faulty"
 	"prema/internal/rtm"
 	"prema/internal/substrate"
 	"prema/internal/sweep"
@@ -49,14 +59,34 @@ func main() {
 	backend := flag.String("backend", "sim", "execution substrate: sim (deterministic) | real (goroutines)")
 	timescale := flag.Float64("timescale", 1e-3, "real backend: wall seconds per virtual second")
 	spin := flag.Bool("spin", false, "real backend: busy-wait instead of sleeping")
+	planS := flag.String("fault-plan", "", "fault plan injected at the substrate seam (internal/faulty syntax; PREMA systems only)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
+	reliable := flag.Bool("reliable", false, "switch DMCS into reliable-delivery mode (PREMA systems only)")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "premabench: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
 	if *procs < 1 || *upp < 1 {
 		fmt.Fprintf(os.Stderr, "premabench: -procs and -units-per-proc must be positive (got %d, %d)\n", *procs, *upp)
 		os.Exit(2)
 	}
+	if *stride < 0 {
+		fmt.Fprintf(os.Stderr, "premabench: -stride must be >= 0 (got %d)\n", *stride)
+		os.Exit(2)
+	}
 	if *jobs < 1 {
 		fmt.Fprintf(os.Stderr, "premabench: -jobs must be >= 1 (got %d)\n", *jobs)
+		os.Exit(2)
+	}
+	if *timescale <= 0 {
+		fmt.Fprintf(os.Stderr, "premabench: -timescale must be positive (got %g)\n", *timescale)
+		os.Exit(2)
+	}
+	plan, err := faulty.ParsePlan(*planS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "premabench:", err)
 		os.Exit(2)
 	}
 	w := bench.PaperWorkload(bench.FigureSpec{ID: 0, Imbalance: *imb, Ratio: *ratio}, *procs, *upp)
@@ -74,14 +104,38 @@ func main() {
 		systems[i] = strings.TrimSpace(s)
 	}
 
+	chaos := plan.Active() || *reliable
 	var results []*bench.Result
-	var err error
-	switch *backend {
-	case "sim":
+	switch {
+	case chaos:
+		// Fault injection and reliable delivery run through the chaos
+		// driver: only the PREMA configurations have a real transport to
+		// fault (bench.RunChaos rejects the baseline cost models).
+		if *backend == "real" && len(systems) > 1 {
+			fmt.Fprintln(os.Stderr, "premabench: multi-system mode is simulator-only; use -backend=sim")
+			os.Exit(2)
+		}
+		cs := bench.ChaosSpec{
+			Plan:      plan,
+			FaultSeed: *faultSeed,
+			Backend:   *backend,
+			TimeScale: *timescale,
+			Spin:      *spin,
+		}
+		if *reliable {
+			cs.Rel = dmcs.DefaultRelConfig()
+		}
+		results, err = sweep.Map(*jobs, len(systems), func(i int) (*bench.Result, error) {
+			cs := cs
+			cs.System = systems[i]
+			r, _, err := bench.RunChaos(w, cs)
+			return r, err
+		})
+	case *backend == "sim":
 		results, err = sweep.Map(*jobs, len(systems), func(i int) (*bench.Result, error) {
 			return runSim(systems[i], w)
 		})
-	case "real":
+	case *backend == "real":
 		if len(systems) > 1 {
 			fmt.Fprintln(os.Stderr, "premabench: multi-system mode is simulator-only; use -backend=sim")
 			os.Exit(2)

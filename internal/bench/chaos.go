@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+
+	"prema/internal/dmcs"
+	"prema/internal/faulty"
+	"prema/internal/rtm"
+	"prema/internal/sim"
+	"prema/internal/substrate"
+)
+
+// ChaosSpec configures one chaos run: a named PREMA system configuration on
+// a (possibly) faulted substrate, with reliable delivery on or off. It is
+// the programmatic form of premabench's and chaosbench's fault flags.
+type ChaosSpec struct {
+	// System names the PREMA configuration ("none", "prema-explicit",
+	// "prema-implicit"). The third-party baseline models are simulator cost
+	// models without a real transport, so faults do not apply to them.
+	System string
+	// Plan is the fault schedule; an inactive plan runs the machine bare.
+	Plan faulty.Plan
+	// FaultSeed seeds the injector's per-endpoint random streams.
+	FaultSeed int64
+	// Rel configures DMCS reliable delivery. Zero value = classic mode.
+	Rel dmcs.RelConfig
+	// Backend selects the substrate: "sim" (default, deterministic) or
+	// "real" (goroutine-per-processor wall clock).
+	Backend string
+	// TimeScale and Spin tune the real backend (wall seconds per virtual
+	// second; busy-wait instead of sleeping). Zero TimeScale keeps the
+	// backend default.
+	TimeScale float64
+	Spin      bool
+}
+
+// RunChaos executes the paper microbenchmark under a chaos spec and returns
+// the benchmark result plus the injector's machine-wide fault counters
+// (zero when the plan is inactive).
+func RunChaos(w Workload, cs ChaosSpec) (*Result, faulty.Stats, error) {
+	cfg, err := PremaConfigFor(cs.System)
+	if err != nil {
+		return nil, faulty.Stats{}, err
+	}
+	cfg.Rel = cs.Rel
+	var m substrate.Machine
+	switch cs.Backend {
+	case "", "sim":
+		m = sim.NewMachine(sim.Config{Network: w.Network, Seed: w.Seed})
+	case "real":
+		rc := rtm.DefaultConfig()
+		rc.Seed = w.Seed
+		if cs.TimeScale > 0 {
+			rc.TimeScale = cs.TimeScale
+		}
+		rc.Spin = cs.Spin
+		m = rtm.New(rc)
+	default:
+		return nil, faulty.Stats{}, fmt.Errorf("bench: unknown chaos backend %q (want sim or real)", cs.Backend)
+	}
+	var fm *faulty.Machine
+	if cs.Plan.Active() {
+		fm = faulty.Wrap(m, cs.Plan, cs.FaultSeed)
+		m = fm
+	}
+	res, err := RunPremaOn(m, w, cfg)
+	if err != nil {
+		return nil, faulty.Stats{}, err
+	}
+	var st faulty.Stats
+	if fm != nil {
+		st = fm.Stats()
+	}
+	return res, st, nil
+}
+
+// CheckConservation verifies the application-level outcome of a PREMA run:
+// every work unit computed exactly once, and every registered mobile object
+// resident on exactly one processor at the end — no unit lost to a dropped
+// message, none run twice off a duplicated one. This is the invariant the
+// chaos experiments assert against a faulted machine.
+func (r *Result) CheckConservation() error {
+	if r.Resident == nil {
+		return fmt.Errorf("%s: no residency data (not a PREMA run)", r.System)
+	}
+	if got := r.Counters["units_run"]; got != r.W.Units {
+		return fmt.Errorf("%s: ran %d units, want %d", r.System, got, r.W.Units)
+	}
+	objs := 0
+	for _, n := range r.Resident {
+		objs += n
+	}
+	if objs != r.W.Units {
+		return fmt.Errorf("%s: %d objects resident, want %d", r.System, objs, r.W.Units)
+	}
+	return nil
+}

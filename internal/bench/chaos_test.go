@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"prema/internal/dmcs"
+	"prema/internal/faulty"
+	"prema/internal/substrate"
+)
+
+// chaosWorkload is the small figure-3 scenario the chaos tests run.
+func chaosWorkload() Workload {
+	return PaperWorkload(FigureSpec{ID: 3, Imbalance: 0.5, Ratio: 2.0}, 8, 8)
+}
+
+// chaosPlan is the acceptance-level fault mix: a fifth of all messages
+// dropped, a tenth duplicated.
+func chaosPlan() faulty.Plan {
+	return faulty.Plan{Default: faulty.LinkFaults{Drop: 0.2, Dup: 0.1}}
+}
+
+// TestChaosRunSurvives: the paper microbenchmark on a lossy, duplicating
+// simulated machine with reliable delivery on must produce the same
+// application-level outcome as a clean run — every unit computed exactly
+// once, every object on exactly one processor — and must visibly have
+// fought the network to get there.
+func TestChaosRunSurvives(t *testing.T) {
+	w := chaosWorkload()
+	for _, sys := range []string{"none", "prema-explicit", "prema-implicit"} {
+		sys := sys
+		t.Run(sys, func(t *testing.T) {
+			clean, _, err := RunChaos(w, ChaosSpec{System: sys})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, st, err := RunChaos(w, ChaosSpec{
+				System:    sys,
+				Plan:      chaosPlan(),
+				FaultSeed: 3,
+				Rel:       dmcs.DefaultRelConfig(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := clean.CheckConservation(); err != nil {
+				t.Errorf("clean run: %v", err)
+			}
+			if err := res.CheckConservation(); err != nil {
+				t.Errorf("faulted run: %v", err)
+			}
+			if res.Counters["units_run"] != clean.Counters["units_run"] {
+				t.Errorf("faulted run computed %d units, clean run %d",
+					res.Counters["units_run"], clean.Counters["units_run"])
+			}
+			if st.Dropped == 0 || st.Dupped == 0 {
+				t.Errorf("fault injection too quiet: %+v", st)
+			}
+			if res.Counters["rel_retransmits"] == 0 {
+				t.Errorf("%d drops but no retransmissions", st.Dropped)
+			}
+		})
+	}
+}
+
+// TestChaosRunDeterministic: a faulted simulator run is exactly as
+// reproducible as a clean one — same seeds, byte-identical outcome, down to
+// per-processor ledgers and protocol counters.
+func TestChaosRunDeterministic(t *testing.T) {
+	w := chaosWorkload()
+	cs := ChaosSpec{
+		System:    "prema-implicit",
+		Plan:      chaosPlan(),
+		FaultSeed: 3,
+		Rel:       dmcs.DefaultRelConfig(),
+	}
+	a, sta, err := RunChaos(w, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, stb, err := RunChaos(w, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("makespans differ: %v vs %v", a.Makespan, b.Makespan)
+	}
+	if sta != stb {
+		t.Fatalf("fault stats differ: %+v vs %+v", sta, stb)
+	}
+	for i := range a.Accounts {
+		if a.Accounts[i] != b.Accounts[i] {
+			t.Fatalf("proc %d accounts differ:\n%v\n%v", i, a.Accounts[i], b.Accounts[i])
+		}
+	}
+	if !reflect.DeepEqual(a.Counters, b.Counters) {
+		t.Fatalf("counters differ:\n%v\n%v", a.Counters, b.Counters)
+	}
+	if !reflect.DeepEqual(a.Resident, b.Resident) {
+		t.Fatalf("residency differs:\n%v\n%v", a.Resident, b.Resident)
+	}
+}
+
+// TestChaosReliableOverhead: reliable delivery on a fault-free simulated
+// network must cost almost nothing — the acceptance bound is <5% of the
+// clean makespan (measured: ~0.1%; see EXPERIMENTS.md).
+func TestChaosReliableOverhead(t *testing.T) {
+	w := chaosWorkload()
+	clean, _, err := RunChaos(w, ChaosSpec{System: "prema-implicit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _, err := RunChaos(w, ChaosSpec{System: "prema-implicit", Rel: dmcs.DefaultRelConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+	overhead := 100 * (rel.Makespan.Seconds() - clean.Makespan.Seconds()) / clean.Makespan.Seconds()
+	if overhead >= 5 {
+		t.Errorf("reliable mode costs %.2f%% of makespan on a clean network, want <5%%", overhead)
+	}
+	if rel.Counters["rel_retransmits"] != 0 {
+		t.Errorf("clean network produced %d retransmits", rel.Counters["rel_retransmits"])
+	}
+}
+
+// TestChaosRejectsBaselines: the third-party baseline cost models have no
+// real transport to fault; RunChaos must refuse them.
+func TestChaosRejectsBaselines(t *testing.T) {
+	w := chaosWorkload()
+	for _, sys := range []string{"parmetis", "charm", "charm-sync4", "nonsense"} {
+		if _, _, err := RunChaos(w, ChaosSpec{System: sys, Plan: chaosPlan()}); err == nil {
+			t.Errorf("RunChaos accepted system %q", sys)
+		}
+	}
+	if _, _, err := RunChaos(w, ChaosSpec{System: "prema-implicit", Backend: "quantum"}); err == nil {
+		t.Error("RunChaos accepted backend \"quantum\"")
+	}
+}
+
+// TestChaosStallRecovery: a processor frozen for a long window mid-run
+// (modeling a GC pause or OS stall) must not lose work — the balancer routes
+// around it and every unit still computes.
+func TestChaosStallRecovery(t *testing.T) {
+	w := chaosWorkload()
+	res, st, err := RunChaos(w, ChaosSpec{
+		System: "prema-implicit",
+		Plan: faulty.Plan{Stalls: []faulty.Stall{
+			{Proc: 3, At: 10 * substrate.Second, For: 30 * substrate.Second},
+		}},
+		FaultSeed: 3,
+		Rel:       dmcs.DefaultRelConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stalls != 1 {
+		t.Errorf("stall fired %d times, want 1", st.Stalls)
+	}
+	if err := res.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+}

@@ -91,22 +91,35 @@ func RunSystem(name string, w Workload) (*Result, error) {
 	}
 }
 
+// PremaConfigFor returns the driver configuration behind a PREMA system
+// name ("none", "prema-explicit", "prema-implicit"). Chaos harnesses use it
+// to customize a named configuration (reliable delivery, fault tolerance
+// tuning) before calling RunPremaOn. The third-party baseline models
+// (parmetis, charm*) have no PremaConfig and are rejected.
+func PremaConfigFor(name string) (PremaConfig, error) {
+	switch name {
+	case "none":
+		return DefaultPremaConfig(ilb.Implicit, false), nil
+	case "prema-explicit":
+		return DefaultPremaConfig(ilb.Explicit, true), nil
+	case "prema-implicit":
+		return DefaultPremaConfig(ilb.Implicit, true), nil
+	case "parmetis", "charm", "charm-sync4":
+		return PremaConfig{}, fmt.Errorf("bench: system %q is simulator-only", name)
+	default:
+		return PremaConfig{}, fmt.Errorf("bench: unknown system %q", name)
+	}
+}
+
 // RunSystemOn executes one named PREMA system configuration on an arbitrary
 // execution substrate. The third-party baseline models (parmetis, charm*)
 // are wired to the simulator's cost model and are rejected here.
 func RunSystemOn(name string, m substrate.Machine, w Workload) (*Result, error) {
-	switch name {
-	case "none":
-		return RunPremaOn(m, w, DefaultPremaConfig(ilb.Implicit, false))
-	case "prema-explicit":
-		return RunPremaOn(m, w, DefaultPremaConfig(ilb.Explicit, true))
-	case "prema-implicit":
-		return RunPremaOn(m, w, DefaultPremaConfig(ilb.Implicit, true))
-	case "parmetis", "charm", "charm-sync4":
-		return nil, fmt.Errorf("bench: system %q is simulator-only", name)
-	default:
-		return nil, fmt.Errorf("bench: unknown system %q", name)
+	cfg, err := PremaConfigFor(name)
+	if err != nil {
+		return nil, err
 	}
+	return RunPremaOn(m, w, cfg)
 }
 
 // RunFigure runs all six configurations of one figure.

@@ -28,6 +28,10 @@ type PremaConfig struct {
 	PollEvery int
 	// WS tunes the work stealing policy.
 	WS policy.WSConfig
+	// Rel switches DMCS into reliable-delivery mode (chaos experiments).
+	// The zero value keeps the classic fire-and-forget transport and the
+	// byte-identical paper-figure outputs.
+	Rel dmcs.RelConfig
 }
 
 // DefaultPremaConfig returns the configuration used for the paper figures.
@@ -61,6 +65,10 @@ func RunPremaOn(m substrate.Machine, w Workload, cfg PremaConfig) (*Result, erro
 		name = "prema-" + cfg.Mode.String()
 	}
 	policies := make([]*policy.WorkStealing, w.Procs)
+	unitsRun := make([]int, w.Procs)
+	resident := make([]int, w.Procs)
+	rels := make([]dmcs.RelStats, w.Procs)
+	mols := make([]mol.Stats, w.Procs)
 	for p := 0; p < w.Procs; p++ {
 		m.Spawn(fmt.Sprintf("p%03d", p), func(ep substrate.Endpoint) {
 			lbCfg := ilb.DefaultConfig(cfg.Mode)
@@ -71,7 +79,7 @@ func RunPremaOn(m substrate.Machine, w Workload, cfg PremaConfig) (*Result, erro
 			if cfg.PollEvery > 0 {
 				lbCfg.PollEvery = cfg.PollEvery
 			}
-			opts := core.Options{LB: lbCfg, Mol: mol.DefaultConfig()}
+			opts := core.Options{LB: lbCfg, Mol: mol.DefaultConfig(), Rel: cfg.Rel}
 			if cfg.Balance {
 				ws := policy.NewWorkStealing(cfg.WS)
 				policies[ep.ID()] = ws
@@ -103,12 +111,49 @@ func RunPremaOn(m substrate.Machine, w Workload, cfg PremaConfig) (*Result, erro
 				r.Message(mp, hWork, nil, 8, w.Hint(u))
 			}
 			r.Run()
+			// Application-level outcome, per processor. Each body writes
+			// only its own slot, so this is safe on the concurrent backend.
+			unitsRun[ep.ID()] = r.Scheduler().Stats.UnitsRun
+			resident[ep.ID()] = len(r.Mol().Local())
+			rels[ep.ID()] = r.Comm().RelStats()
+			mols[ep.ID()] = r.Mol().Stats
 		})
 	}
 	if err := m.Run(); err != nil {
 		return nil, fmt.Errorf("bench %s: %w", name, err)
 	}
 	res := collect(name, w, m)
+	res.Resident = resident
+	var units int
+	for _, n := range unitsRun {
+		units += n
+	}
+	res.Counters["units_run"] = units
+	var dups int
+	for _, s := range mols {
+		dups += s.Duplicates + s.MigrationsDup
+	}
+	if dups > 0 {
+		res.Counters["mol_duplicates"] = dups
+	}
+	if cfg.Rel.Enabled {
+		var rs dmcs.RelStats
+		for _, s := range rels {
+			rs.DataSent += s.DataSent
+			rs.Retransmits += s.Retransmits
+			rs.Timeouts += s.Timeouts
+			rs.AcksSent += s.AcksSent
+			rs.AcksRecv += s.AcksRecv
+			rs.DupDropped += s.DupDropped
+			rs.Held += s.Held
+		}
+		res.Counters["rel_data_sent"] = rs.DataSent
+		res.Counters["rel_retransmits"] = rs.Retransmits
+		res.Counters["rel_timeouts"] = rs.Timeouts
+		res.Counters["rel_acks"] = rs.AcksSent
+		res.Counters["rel_dup_dropped"] = rs.DupDropped
+		res.Counters["rel_held"] = rs.Held
+	}
 	if cfg.Balance {
 		var req, grant, nack, moved int
 		for _, ws := range policies {

@@ -26,6 +26,11 @@ type Result struct {
 	// Counters carries system-specific counters (steals, migrations,
 	// repartition rounds, ...) for reporting.
 	Counters map[string]int
+	// Resident is the number of mobile objects resident on each processor
+	// at the end of the run (PREMA drivers only; nil for baseline models).
+	// The chaos harness uses it to check object conservation — every
+	// registered object lives on exactly one processor, dup or no dup.
+	Resident []int
 }
 
 // Series extracts one per-processor category series in seconds — one

@@ -34,6 +34,12 @@ type Options struct {
 	// no load balancing. Every processor must construct the same policy
 	// type (SPMD discipline).
 	Policy ilb.Policy
+	// Rel switches DMCS into reliable-delivery mode (sequence numbers,
+	// cumulative acks, poll-driven retransmission — see dmcs/reliable.go),
+	// letting the stack survive a lossy transport such as internal/faulty.
+	// The zero value keeps the classic fire-and-forget transport. All
+	// processors must agree (SPMD discipline).
+	Rel dmcs.RelConfig
 }
 
 // DefaultOptions returns the options used by the paper's experiments for
@@ -62,6 +68,7 @@ type Runtime struct {
 // (and then register handlers) in the same order.
 func NewRuntime(p substrate.Endpoint, opt Options) *Runtime {
 	c := dmcs.New(p)
+	c.EnableReliable(opt.Rel)
 	l := mol.New(c, opt.Mol)
 	pol := opt.Policy
 	if pol == nil {
@@ -130,8 +137,16 @@ func (r *Runtime) ComputeDuration(d time.Duration) { r.s.Compute(substrate.FromD
 // Poll is the application-posted polling operation.
 func (r *Runtime) Poll() { r.s.Poll() }
 
-// Run drives the scheduler until Stop (or a StopAll broadcast) is seen.
-func (r *Runtime) Run() { r.s.Run() }
+// Run drives the scheduler until Stop (or a StopAll broadcast) is seen. In
+// reliable-delivery mode it then quiesces the transport: unacked sends
+// (including the termination broadcast itself) are retransmitted until
+// acknowledged, and peers' stragglers keep getting acked for a short
+// linger, bounded by the drain timeout. Without the drain, the first
+// dropped stop message would strand a peer forever.
+func (r *Runtime) Run() {
+	r.s.Run()
+	r.c.Quiesce()
+}
 
 // Stop stops this processor's scheduler.
 func (r *Runtime) Stop() { r.s.Stop() }

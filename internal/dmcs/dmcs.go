@@ -31,6 +31,10 @@ type Comm struct {
 	// DispatchCPU is charged (to substrate.CatCallback) around every handler
 	// invocation, modeling the user-level dispatch cost of the AM layer.
 	DispatchCPU substrate.Time
+	// rel is non-nil in reliable-delivery mode (see reliable.go): sequenced
+	// exactly-once delivery with acks and poll-driven retransmission,
+	// built for lossy transports such as internal/faulty.
+	rel *reliable
 }
 
 // New wraps a substrate endpoint in a DMCS endpoint.
@@ -57,8 +61,14 @@ func (c *Comm) Send(dst int, h HandlerID, data any, size int) {
 
 // SendTagged is Send with an explicit traffic-class tag. Load balancer
 // traffic uses substrate.TagSystem so it can be drained preemptively by
-// PREMA's polling thread without touching application messages.
+// PREMA's polling thread without touching application messages. In reliable
+// mode the message is sequenced and buffered for retransmission until the
+// destination acknowledges it.
 func (c *Comm) SendTagged(dst int, h HandlerID, data any, size int, tag int) {
+	if c.rel != nil {
+		c.relSend(dst, h, data, size, tag)
+		return
+	}
 	c.p.Send(&substrate.Msg{
 		Dst:  dst,
 		Kind: int(h),
@@ -78,8 +88,24 @@ func (c *Comm) dispatch(m *substrate.Msg) {
 
 // Poll receives and dispatches every queued message, returning the number
 // dispatched. This is the explicit polling operation of the PREMA model:
-// both application- and system-generated messages are processed.
+// both application- and system-generated messages are processed. In
+// reliable mode Poll also ticks the protocol: due acks are flushed and
+// expired streams retransmitted.
 func (c *Comm) Poll() int {
+	if c.rel != nil {
+		n := 0
+		for {
+			c.pump()
+			m := c.popReady(0, true)
+			if m == nil {
+				break
+			}
+			c.dispatch(m)
+			n++
+		}
+		c.tick()
+		return n
+	}
 	n := 0
 	for {
 		m := c.p.TryRecv(substrate.CatMessaging)
@@ -93,6 +119,17 @@ func (c *Comm) Poll() int {
 
 // PollOne dispatches at most one queued message.
 func (c *Comm) PollOne() bool {
+	if c.rel != nil {
+		c.pump()
+		m := c.popReady(0, true)
+		if m == nil {
+			c.tick()
+			return false
+		}
+		c.dispatch(m)
+		c.tick()
+		return true
+	}
 	m := c.p.TryRecv(substrate.CatMessaging)
 	if m == nil {
 		return false
@@ -106,7 +143,25 @@ func (c *Comm) PollOne() bool {
 // substrate.TagSystem is the core of implicit (preemptive) load balancing:
 // the polling thread drains balancer messages without delivering application
 // messages, preserving PREMA's single-threaded application model (§4.2).
+// In reliable mode, messages of other tags still move through the protocol
+// (dedup, ordering, acks) but stay queued for a later matching poll, so
+// preemptive balancing never leaks an application message — and the
+// polling thread doubles as the retransmission timer.
 func (c *Comm) PollTag(tag int) int {
+	if c.rel != nil {
+		n := 0
+		for {
+			c.pump()
+			m := c.popReady(tag, false)
+			if m == nil {
+				break
+			}
+			c.dispatch(m)
+			n++
+		}
+		c.tick()
+		return n
+	}
 	n := 0
 	for {
 		m := c.p.TryRecvTag(tag, substrate.CatMessaging)
@@ -118,18 +173,66 @@ func (c *Comm) PollTag(tag int) int {
 	}
 }
 
-// WaitPoll blocks until at least one message is queued (attributing the wait
-// to cat, normally substrate.CatIdle), then polls everything queued.
+// WaitPoll blocks until at least one message is dispatched (attributing the
+// wait to cat, normally substrate.CatIdle), then polls everything queued.
+// In reliable mode an arrival that turns out to be a duplicate or an ack
+// dispatches nothing, so the wait continues — bounded by the protocol's
+// own retransmission deadlines.
 func (c *Comm) WaitPoll(cat substrate.Category) int {
+	if c.rel != nil {
+		for {
+			n := c.Poll()
+			if n > 0 {
+				return n
+			}
+			if dl := c.rel.nextDeadline(); dl != 0 {
+				now := c.p.Now()
+				if dl <= now {
+					continue
+				}
+				c.p.WaitMsgFor(dl-now, cat)
+			} else {
+				c.p.WaitMsg(cat)
+			}
+		}
+	}
 	c.p.WaitMsg(cat)
 	return c.Poll()
 }
 
-// WaitPollFor blocks until a message arrives or d elapses, then polls.
-// It returns the number of messages dispatched.
+// WaitPollFor blocks until a message arrives or d elapses, then polls. It
+// returns the number of messages dispatched.
+//
+// A zero or negative d never blocks: the call degenerates to a plain Poll
+// of whatever is already queued. (Before this was made explicit, d <= 0 was
+// backend-dependent — an immediate check on the simulator, a clamped
+// one-microsecond wait on the real-time machine.) In reliable mode the wait
+// also wakes for retransmission deadlines, so an idle processor blocked
+// here — ilb's idle loop — keeps the protocol moving even when nothing
+// arrives.
 func (c *Comm) WaitPollFor(d substrate.Time, cat substrate.Category) int {
-	if !c.p.WaitMsgFor(d, cat) {
-		return 0
+	if d <= 0 {
+		return c.Poll()
 	}
-	return c.Poll()
+	if c.rel == nil {
+		if !c.p.WaitMsgFor(d, cat) {
+			return 0
+		}
+		return c.Poll()
+	}
+	deadline := c.p.Now() + d
+	for {
+		if n := c.Poll(); n > 0 {
+			return n
+		}
+		now := c.p.Now()
+		if now >= deadline {
+			return 0
+		}
+		wait := deadline - now
+		if dl := c.rel.nextDeadline(); dl != 0 && dl > now && dl-now < wait {
+			wait = dl - now
+		}
+		c.p.WaitMsgFor(wait, cat)
+	}
 }

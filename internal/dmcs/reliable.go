@@ -1,0 +1,453 @@
+package dmcs
+
+import (
+	"prema/internal/substrate"
+)
+
+// This file implements DMCS's reliable-delivery mode: an ARQ protocol that
+// makes the active-message layer survive a lossy transport (message drop,
+// duplication, reordering, and delay — the faults internal/faulty injects).
+//
+// Protocol summary:
+//
+//   - Every (peer, tag) pair is an independent *stream*. Streams are
+//     per-tag so that PREMA's preemptive polling (PollTag with TagSystem)
+//     keeps working: a system-tagged balancer message never waits behind an
+//     undelivered application message.
+//   - Data messages carry per-stream sequence numbers (1, 2, 3, ...) in
+//     Msg.Seq. The receiver delivers a stream strictly in sequence order,
+//     buffering out-of-order arrivals and discarding duplicates, so every
+//     handler runs exactly once per logical send, in per-stream FIFO order
+//     — the same guarantee the substrate itself gives on a perfect network.
+//   - Receivers acknowledge with cumulative acks (highest in-sequence
+//     sequence number), flushed at the end of every poll that consumed or
+//     re-observed stream data. Acks are unsequenced control messages
+//     (Kind = ackKind, system-tagged) and may themselves be lost; a later
+//     ack or a retransmission-triggered re-ack repairs that.
+//   - Senders buffer unacked messages and retransmit the whole unacked
+//     window when a per-stream deadline expires, doubling the timeout up to
+//     RTOMax (capped exponential backoff) and resetting it on forward
+//     progress. Retransmission is driven entirely off the existing poll
+//     loop — Poll/PollTag/WaitPollFor tick the protocol — so an idle
+//     processor blocked in ilb's WaitPollFor(IdleTick) wakes and
+//     retransmits without any dedicated thread.
+//
+// All protocol CPU is charged through the normal substrate categories
+// (sends and receives to CatMessaging), so a faulted run's extra cost shows
+// up in the same per-processor ledgers the paper's figures plot.
+
+// ackKind is the reserved Msg.Kind of cumulative-ack control messages.
+// Handler IDs are non-negative, so the spaces cannot collide.
+const ackKind = -1
+
+// ackBytes models the wire size of an ack control message.
+const ackBytes = 16
+
+// RelConfig tunes reliable-delivery mode.
+type RelConfig struct {
+	// Enabled switches the protocol on. A zero RelConfig leaves DMCS in its
+	// classic fire-and-forget mode with byte-identical behaviour to earlier
+	// revisions.
+	Enabled bool
+	// RTO is the initial per-stream retransmission timeout.
+	RTO substrate.Time
+	// RTOMax caps the exponential backoff.
+	RTOMax substrate.Time
+	// Linger is how long Quiesce keeps polling-and-acking after the last
+	// protocol activity, so peers' retransmissions still get acked during
+	// shutdown.
+	Linger substrate.Time
+	// DrainTimeout hard-bounds Quiesce; a crashed peer that will never ack
+	// cannot hold shutdown hostage beyond this.
+	DrainTimeout substrate.Time
+	// RetransmitBurst caps how many unacked messages a single stream resends
+	// per timeout. Plain go-back-N resends the whole window, which on a slow
+	// or stalled receiver turns every timeout into a message storm that can
+	// starve the very acks that would stop it; capping keeps the protocol
+	// stable (the head of the window is always resent, so progress is
+	// preserved).
+	RetransmitBurst int
+}
+
+// DefaultRelConfig returns the tuning used by the chaos experiments.
+func DefaultRelConfig() RelConfig {
+	return RelConfig{
+		Enabled:         true,
+		RTO:             50 * substrate.Millisecond,
+		RTOMax:          1 * substrate.Second,
+		Linger:          200 * substrate.Millisecond,
+		DrainTimeout:    60 * substrate.Second,
+		RetransmitBurst: 16,
+	}
+}
+
+// RelStats counts reliable-mode protocol activity on one endpoint.
+type RelStats struct {
+	// DataSent is the number of first transmissions of sequenced messages.
+	DataSent int
+	// Retransmits is the number of data retransmissions.
+	Retransmits int
+	// Timeouts is the number of per-stream RTO expiries.
+	Timeouts int
+	// AcksSent and AcksRecv count cumulative-ack control messages.
+	AcksSent, AcksRecv int
+	// DupDropped is the number of received duplicates discarded.
+	DupDropped int
+	// Held is the number of out-of-order arrivals buffered for reordering.
+	Held int
+}
+
+// stream identifies one direction of one traffic class to/from one peer.
+type stream struct {
+	peer int
+	tag  int
+}
+
+// sendState is the sender half of a stream.
+type sendState struct {
+	nextSeq  uint64 // sequence number of the next new message (first = 1)
+	pending  []pendingMsg
+	rto      substrate.Time // current (backed-off) timeout
+	deadline substrate.Time // retransmit time; 0 = nothing outstanding
+}
+
+// pendingMsg is an unacked message kept for retransmission. Each
+// (re)transmission builds a fresh substrate.Msg — a delivered message is
+// owned by the receiver and must never be resent.
+type pendingMsg struct {
+	seq  uint64
+	kind int
+	data any
+	size int
+}
+
+// recvState is the receiver half of a stream.
+type recvState struct {
+	next   uint64 // next expected sequence number (first = 1)
+	hold   map[uint64]*substrate.Msg
+	ackDue bool
+}
+
+// reliable is the per-endpoint protocol state.
+type reliable struct {
+	cfg RelConfig
+
+	send      map[stream]*sendState
+	recv      map[stream]*recvState
+	sendOrder []stream // deterministic iteration (map order would leak host randomness into the simulator)
+	recvOrder []stream
+
+	// ready holds in-sequence messages awaiting dispatch, in release order.
+	ready []*substrate.Msg
+
+	// lastActivity is the time of the most recent protocol event (arrival,
+	// ack, retransmission); Quiesce lingers relative to it.
+	lastActivity substrate.Time
+
+	stats RelStats
+}
+
+// EnableReliable switches the endpoint into reliable-delivery mode. Call it
+// immediately after New, before any traffic flows; every processor must
+// agree (SPMD discipline, as for handler registration).
+func (c *Comm) EnableReliable(cfg RelConfig) {
+	if !cfg.Enabled {
+		return
+	}
+	def := DefaultRelConfig()
+	if cfg.RTO <= 0 {
+		cfg.RTO = def.RTO
+	}
+	if cfg.RTOMax < cfg.RTO {
+		cfg.RTOMax = def.RTOMax
+	}
+	if cfg.RTOMax < cfg.RTO {
+		cfg.RTOMax = cfg.RTO
+	}
+	if cfg.Linger <= 0 {
+		cfg.Linger = def.Linger
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = def.DrainTimeout
+	}
+	if cfg.RetransmitBurst <= 0 {
+		cfg.RetransmitBurst = def.RetransmitBurst
+	}
+	c.rel = &reliable{
+		cfg:  cfg,
+		send: make(map[stream]*sendState),
+		recv: make(map[stream]*recvState),
+	}
+}
+
+// Reliable reports whether reliable-delivery mode is on.
+func (c *Comm) Reliable() bool { return c.rel != nil }
+
+// RelStats returns a snapshot of the reliable-protocol counters (zero value
+// when the mode is off).
+func (c *Comm) RelStats() RelStats {
+	if c.rel == nil {
+		return RelStats{}
+	}
+	return c.rel.stats
+}
+
+func (r *reliable) sendStream(peer, tag int) *sendState {
+	k := stream{peer, tag}
+	st, ok := r.send[k]
+	if !ok {
+		st = &sendState{nextSeq: 1, rto: r.cfg.RTO}
+		r.send[k] = st
+		r.sendOrder = append(r.sendOrder, k)
+	}
+	return st
+}
+
+func (r *reliable) recvStream(peer, tag int) *recvState {
+	k := stream{peer, tag}
+	st, ok := r.recv[k]
+	if !ok {
+		st = &recvState{next: 1, hold: make(map[uint64]*substrate.Msg)}
+		r.recv[k] = st
+		r.recvOrder = append(r.recvOrder, k)
+	}
+	return st
+}
+
+// relSend sequences and transmits a new data message, buffering it for
+// retransmission.
+func (c *Comm) relSend(dst int, h HandlerID, data any, size int, tag int) {
+	st := c.rel.sendStream(dst, tag)
+	seq := st.nextSeq
+	st.nextSeq++
+	st.pending = append(st.pending, pendingMsg{seq: seq, kind: int(h), data: data, size: size})
+	if st.deadline == 0 {
+		st.deadline = c.p.Now() + st.rto
+	}
+	c.rel.stats.DataSent++
+	c.p.Send(&substrate.Msg{
+		Dst:  dst,
+		Kind: int(h),
+		Tag:  tag,
+		Data: data,
+		Size: size,
+		Seq:  seq,
+	}, substrate.CatMessaging)
+}
+
+// ackPayload is the body of a cumulative-ack control message: "for your
+// stream tagged Tag toward me, I have everything through Cum".
+type ackPayload struct {
+	Tag int
+	Cum uint64
+}
+
+// pump drains the substrate inbox through the protocol: acks update sender
+// state, sequenced data is deduplicated and released in order onto the
+// ready queue.
+func (c *Comm) pump() {
+	for {
+		m := c.p.TryRecv(substrate.CatMessaging)
+		if m == nil {
+			return
+		}
+		c.accept(m)
+	}
+}
+
+// accept runs one received message through the receiver state machine.
+func (c *Comm) accept(m *substrate.Msg) {
+	r := c.rel
+	r.lastActivity = c.p.Now()
+	if m.Kind == ackKind {
+		pay := m.Data.(ackPayload)
+		r.stats.AcksRecv++
+		st := r.sendStream(m.Src, pay.Tag)
+		before := len(st.pending)
+		i := 0
+		for i < len(st.pending) && st.pending[i].seq <= pay.Cum {
+			i++
+		}
+		if i > 0 {
+			st.pending = st.pending[i:]
+		}
+		if len(st.pending) < before {
+			// Forward progress: reset the backoff.
+			st.rto = r.cfg.RTO
+			if len(st.pending) == 0 {
+				st.deadline = 0
+			} else {
+				st.deadline = c.p.Now() + st.rto
+			}
+		}
+		return
+	}
+	if m.Seq == 0 {
+		// Unsequenced message (a peer running without reliable mode, or
+		// legacy traffic): pass through as-is.
+		r.ready = append(r.ready, m)
+		return
+	}
+	st := r.recvStream(m.Src, m.Tag)
+	st.ackDue = true
+	switch {
+	case m.Seq == st.next:
+		r.ready = append(r.ready, m)
+		st.next++
+		for {
+			h, ok := st.hold[st.next]
+			if !ok {
+				break
+			}
+			delete(st.hold, st.next)
+			r.ready = append(r.ready, h)
+			st.next++
+		}
+	case m.Seq > st.next:
+		if _, dup := st.hold[m.Seq]; dup {
+			r.stats.DupDropped++
+		} else {
+			r.stats.Held++
+			st.hold[m.Seq] = m
+		}
+	default:
+		// Already delivered: a network duplicate or a retransmission that
+		// crossed our ack. Re-ack so the sender stops resending.
+		r.stats.DupDropped++
+	}
+}
+
+// popReady removes and returns the oldest ready message (filtered by tag
+// unless anyTag), or nil.
+func (c *Comm) popReady(tag int, anyTag bool) *substrate.Msg {
+	for i, m := range c.rel.ready {
+		if anyTag || m.Tag == tag {
+			c.rel.ready = append(c.rel.ready[:i], c.rel.ready[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+// tick advances the protocol clockwork: flush due acks, retransmit expired
+// streams. It is called at the end of every poll operation, which is what
+// "retransmission driven off the poll loop" means — no timers, no threads.
+func (c *Comm) tick() {
+	r := c.rel
+	now := c.p.Now()
+	for _, k := range r.recvOrder {
+		st := r.recv[k]
+		if !st.ackDue {
+			continue
+		}
+		st.ackDue = false
+		r.stats.AcksSent++
+		c.p.Send(&substrate.Msg{
+			Dst:  k.peer,
+			Kind: ackKind,
+			Tag:  substrate.TagSystem,
+			Data: ackPayload{Tag: k.tag, Cum: st.next - 1},
+			Size: ackBytes,
+		}, substrate.CatMessaging)
+	}
+	for _, k := range r.sendOrder {
+		st := r.send[k]
+		if st.deadline == 0 || now < st.deadline || len(st.pending) == 0 {
+			continue
+		}
+		r.stats.Timeouts++
+		r.lastActivity = now
+		burst := st.pending
+		if len(burst) > r.cfg.RetransmitBurst {
+			burst = burst[:r.cfg.RetransmitBurst]
+		}
+		for _, pm := range burst {
+			r.stats.Retransmits++
+			c.p.Send(&substrate.Msg{
+				Dst:  k.peer,
+				Kind: pm.kind,
+				Tag:  k.tag,
+				Data: pm.data,
+				Size: pm.size,
+				Seq:  pm.seq,
+			}, substrate.CatMessaging)
+		}
+		st.rto *= 2
+		if st.rto > r.cfg.RTOMax {
+			st.rto = r.cfg.RTOMax
+		}
+		st.deadline = c.p.Now() + st.rto
+	}
+}
+
+// nextDeadline returns the earliest pending retransmission deadline, or 0.
+func (r *reliable) nextDeadline() substrate.Time {
+	var t substrate.Time
+	for _, k := range r.sendOrder {
+		st := r.send[k]
+		if st.deadline != 0 && (t == 0 || st.deadline < t) {
+			t = st.deadline
+		}
+	}
+	return t
+}
+
+// hasPending reports whether any stream still has unacked data.
+func (r *reliable) hasPending() bool {
+	for _, k := range r.sendOrder {
+		if len(r.send[k].pending) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// PendingUnacked returns the number of buffered, unacknowledged messages
+// across all streams (0 when reliable mode is off).
+func (c *Comm) PendingUnacked() int {
+	if c.rel == nil {
+		return 0
+	}
+	n := 0
+	for _, k := range c.rel.sendOrder {
+		n += len(c.rel.send[k].pending)
+	}
+	return n
+}
+
+// Quiesce drains the reliable protocol at shutdown: it keeps polling,
+// acking, and retransmitting until every locally sent message has been
+// acknowledged and the link has been quiet for Linger, or until
+// DrainTimeout expires (a crashed peer never acks). Without this, a
+// processor that exits the instant its application loop stops would strand
+// its final sends — including the termination broadcast itself — the first
+// time the network dropped one. It is a no-op in fire-and-forget mode.
+func (c *Comm) Quiesce() {
+	if c.rel == nil {
+		return
+	}
+	r := c.rel
+	start := c.p.Now()
+	hard := start + r.cfg.DrainTimeout
+	if r.lastActivity < start {
+		r.lastActivity = start
+	}
+	for {
+		c.Poll() // pump + dispatch stragglers + tick (acks, retransmits)
+		now := c.p.Now()
+		if now >= hard {
+			return
+		}
+		if !r.hasPending() && now-r.lastActivity >= r.cfg.Linger {
+			return
+		}
+		wait := hard - now
+		if q := r.lastActivity + r.cfg.Linger - now; !r.hasPending() && q > 0 && q < wait {
+			wait = q
+		}
+		if dl := r.nextDeadline(); dl != 0 && dl > now && dl-now < wait {
+			wait = dl - now
+		}
+		c.p.WaitMsgFor(wait, substrate.CatIdle)
+	}
+}

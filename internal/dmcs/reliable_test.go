@@ -1,0 +1,267 @@
+package dmcs
+
+import (
+	"testing"
+
+	"prema/internal/faulty"
+	"prema/internal/rtm"
+	"prema/internal/sim"
+	"prema/internal/substrate"
+)
+
+// TestWaitPollForNonPositive: a zero or negative duration must never block —
+// the call degenerates to a plain Poll of whatever is queued. This was
+// backend-dependent before it was pinned down (immediate on the simulator, a
+// clamped one-microsecond wait on the real-time machine); now it is part of
+// the documented contract, in both classic and reliable modes.
+func TestWaitPollForNonPositive(t *testing.T) {
+	for _, mode := range []string{"classic", "reliable"} {
+		for _, d := range []substrate.Time{0, -substrate.Millisecond} {
+			mode, d := mode, d
+			t.Run(mode, func(t *testing.T) {
+				backends(t, func(t *testing.T, m substrate.Machine) {
+					const total = 3
+					got := 0
+					m.Spawn("recv", func(ep substrate.Endpoint) {
+						c := New(ep)
+						if mode == "reliable" {
+							c.EnableReliable(DefaultRelConfig())
+						}
+						c.Register(func(c *Comm, src int, data any, size int) { got++ })
+						waitQueued(ep, total)
+						if n := c.WaitPollFor(d, substrate.CatIdle); n != total {
+							t.Errorf("WaitPollFor(%v) dispatched %d, want %d", d, n, total)
+						}
+						// Empty queue: must return 0 without blocking. On the
+						// simulator an empty poll costs no virtual time at all.
+						t0 := ep.Now()
+						if n := c.WaitPollFor(d, substrate.CatIdle); n != 0 {
+							t.Errorf("WaitPollFor(%v) on empty queue dispatched %d", d, n)
+						}
+						if _, isSim := m.(*sim.Machine); isSim && ep.Now() != t0 {
+							t.Errorf("WaitPollFor(%v) advanced virtual time by %v on an empty queue", d, ep.Now()-t0)
+						}
+					})
+					m.Spawn("send", func(ep substrate.Endpoint) {
+						c := New(ep)
+						if mode == "reliable" {
+							c.EnableReliable(DefaultRelConfig())
+						}
+						h := c.Register(func(c *Comm, src int, data any, size int) {})
+						for i := 0; i < total; i++ {
+							c.Send(0, h, i, 8)
+						}
+						c.Quiesce()
+					})
+					if err := m.Run(); err != nil {
+						t.Fatal(err)
+					}
+					if got != total {
+						t.Fatalf("dispatched %d messages, want %d", got, total)
+					}
+				})
+			})
+		}
+	}
+}
+
+// relPair runs a two-processor reliable-mode exchange on machine m: proc 1
+// sends n messages on each of the two traffic classes to proc 0, which must
+// dispatch every one exactly once, in per-stream order. It returns the
+// receiver's protocol stats.
+func relPair(t *testing.T, m substrate.Machine, cfg RelConfig, n int) (gotApp, gotSys []int, sender RelStats) {
+	t.Helper()
+	m.Spawn("recv", func(ep substrate.Endpoint) {
+		c := New(ep)
+		c.EnableReliable(cfg)
+		c.Register(func(c *Comm, src int, data any, size int) { gotApp = append(gotApp, data.(int)) })
+		c.Register(func(c *Comm, src int, data any, size int) { gotSys = append(gotSys, data.(int)) })
+		deadline := ep.Now() + 120*substrate.Second
+		for len(gotApp)+len(gotSys) < 2*n && ep.Now() < deadline {
+			c.WaitPollFor(5*substrate.Millisecond, substrate.CatIdle)
+		}
+		c.Quiesce()
+	})
+	m.Spawn("send", func(ep substrate.Endpoint) {
+		c := New(ep)
+		c.EnableReliable(cfg)
+		hApp := c.Register(func(c *Comm, src int, data any, size int) {})
+		hSys := c.Register(func(c *Comm, src int, data any, size int) {})
+		_ = hApp
+		for i := 0; i < n; i++ {
+			c.SendTagged(0, hApp, i, 8, substrate.TagApp)
+			c.SendTagged(0, hSys, i, 8, substrate.TagSystem)
+		}
+		// Quiesce retransmits until everything is acknowledged (bounded by
+		// the drain timeout), which is the whole point of reliable mode.
+		c.Quiesce()
+		if p := c.PendingUnacked(); p != 0 {
+			t.Errorf("sender still has %d unacked messages after Quiesce", p)
+		}
+		sender = c.RelStats()
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return gotApp, gotSys, sender
+}
+
+// checkInOrder asserts that got is exactly 0..n-1.
+func checkInOrder(t *testing.T, label string, got []int, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("%s: dispatched %d messages, want %d (%v)", label, len(got), n, got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("%s: position %d got %d — out of order or duplicated (%v)", label, i, v, got)
+		}
+	}
+}
+
+// TestReliableCleanNetwork: with no faults, reliable mode must deliver
+// everything exactly once in order — and on the deterministic simulator it
+// must do so without a single retransmission (acks return well inside the
+// initial RTO, so timers never fire).
+func TestReliableCleanNetwork(t *testing.T) {
+	const n = 50
+	backends(t, func(t *testing.T, m substrate.Machine) {
+		gotApp, gotSys, sender := relPair(t, m, DefaultRelConfig(), n)
+		checkInOrder(t, "app", gotApp, n)
+		checkInOrder(t, "sys", gotSys, n)
+		if sender.DataSent != 2*n {
+			t.Errorf("sender DataSent=%d, want %d", sender.DataSent, 2*n)
+		}
+		if _, isSim := m.(*sim.Machine); isSim && sender.Retransmits != 0 {
+			t.Errorf("clean simulated network produced %d retransmits", sender.Retransmits)
+		}
+	})
+}
+
+// TestReliableLossyNetwork is the package-level chaos test: a quarter of all
+// messages dropped, some duplicated, delayed, and reordered — on both
+// backends — and the reliable layer must still deliver every message exactly
+// once, in per-stream order.
+func TestReliableLossyNetwork(t *testing.T) {
+	const n = 100
+	plan := faulty.Plan{Default: faulty.LinkFaults{
+		Drop:    0.25,
+		Dup:     0.15,
+		Delay:   0.10,
+		Reorder: 0.25,
+	}}
+	// The receiver must outlive the sender's longest backoff gap, so its
+	// quiesce linger exceeds RTOMax; the drain timeout bounds the whole
+	// shutdown even if the RNG is maximally unkind.
+	cfg := RelConfig{
+		Enabled:      true,
+		RTO:          10 * substrate.Millisecond,
+		RTOMax:       40 * substrate.Millisecond,
+		Linger:       500 * substrate.Millisecond,
+		DrainTimeout: 10 * substrate.Second,
+	}
+	run := func(t *testing.T, inner substrate.Machine) {
+		fm := faulty.Wrap(inner, plan, 42)
+		gotApp, gotSys, sender := relPair(t, fm, cfg, n)
+		checkInOrder(t, "app", gotApp, n)
+		checkInOrder(t, "sys", gotSys, n)
+		st := fm.Stats()
+		if st.Dropped == 0 || st.Dupped == 0 || st.Reordered == 0 {
+			t.Errorf("fault injection too quiet: %+v", st)
+		}
+		if sender.Retransmits == 0 {
+			t.Errorf("messages were dropped (%d) but nothing was retransmitted", st.Dropped)
+		}
+	}
+	t.Run("sim", func(t *testing.T) {
+		run(t, sim.NewMachine(sim.Config{Seed: 2}))
+	})
+	t.Run("real", func(t *testing.T) {
+		cfg := rtm.DefaultConfig()
+		cfg.Seed = 2
+		cfg.TimeScale = 1e-2 // keep sub-RTO waits above the host timer floor
+		run(t, rtm.New(cfg))
+	})
+}
+
+// TestReliablePollTagPreemption: in reliable mode, PollTag(TagSystem) must
+// dispatch only system-tagged traffic while application data keeps moving
+// through the protocol (acked, deduplicated) without being delivered — the
+// invariant PREMA's preemptive polling thread depends on.
+func TestReliablePollTagPreemption(t *testing.T) {
+	const nSys, nApp = 4, 6
+	backends(t, func(t *testing.T, m substrate.Machine) {
+		var gotApp, gotSys []int
+		m.Spawn("recv", func(ep substrate.Endpoint) {
+			c := New(ep)
+			c.EnableReliable(DefaultRelConfig())
+			c.Register(func(c *Comm, src int, data any, size int) { gotApp = append(gotApp, data.(int)) })
+			c.Register(func(c *Comm, src int, data any, size int) { gotSys = append(gotSys, data.(int)) })
+			deadline := ep.Now() + 60*substrate.Second
+			for len(gotSys) < nSys && ep.Now() < deadline {
+				c.PollTag(substrate.TagSystem)
+				if len(gotSys) < nSys {
+					ep.WaitMsgFor(substrate.Millisecond, substrate.CatIdle)
+				}
+			}
+			if len(gotApp) != 0 {
+				t.Errorf("PollTag(TagSystem) leaked %d application messages", len(gotApp))
+			}
+			for len(gotApp) < nApp && ep.Now() < deadline {
+				c.WaitPollFor(substrate.Millisecond, substrate.CatIdle)
+			}
+			c.Quiesce()
+		})
+		m.Spawn("send", func(ep substrate.Endpoint) {
+			c := New(ep)
+			c.EnableReliable(DefaultRelConfig())
+			hApp := c.Register(func(c *Comm, src int, data any, size int) {})
+			hSys := c.Register(func(c *Comm, src int, data any, size int) {})
+			for i := 0; i < nApp; i++ {
+				c.SendTagged(0, hApp, i, 8, substrate.TagApp)
+			}
+			for i := 0; i < nSys; i++ {
+				c.SendTagged(0, hSys, i, 8, substrate.TagSystem)
+			}
+			c.Quiesce()
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		checkInOrder(t, "sys", gotSys, nSys)
+		checkInOrder(t, "app", gotApp, nApp)
+	})
+}
+
+// TestReliableUnsequencedPassthrough: a message with Seq 0 (sent by a peer
+// running in classic mode) must pass straight through a reliable receiver —
+// delivered, unacked, never buffered.
+func TestReliableUnsequencedPassthrough(t *testing.T) {
+	backends(t, func(t *testing.T, m substrate.Machine) {
+		got := 0
+		m.Spawn("recv", func(ep substrate.Endpoint) {
+			c := New(ep)
+			c.EnableReliable(DefaultRelConfig())
+			c.Register(func(c *Comm, src int, data any, size int) { got++ })
+			deadline := ep.Now() + 30*substrate.Second
+			for got < 2 && ep.Now() < deadline {
+				c.WaitPollFor(substrate.Millisecond, substrate.CatIdle)
+			}
+			if st := c.RelStats(); st.AcksSent != 0 {
+				t.Errorf("acked %d unsequenced messages", st.AcksSent)
+			}
+		})
+		m.Spawn("send", func(ep substrate.Endpoint) {
+			c := New(ep) // classic fire-and-forget
+			h := c.Register(func(c *Comm, src int, data any, size int) {})
+			c.Send(0, h, 1, 8)
+			c.Send(0, h, 2, 8)
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got != 2 {
+			t.Fatalf("dispatched %d messages, want 2", got)
+		}
+	})
+}

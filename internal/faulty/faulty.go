@@ -1,0 +1,396 @@
+package faulty
+
+import (
+	"math/rand"
+	"sort"
+
+	"prema/internal/substrate"
+)
+
+// errCrashed tears down a crashed processor's body; the Spawn wrapper
+// recovers it so the rest of the machine keeps running.
+type crashSignal struct{ proc int }
+
+// Stats counts the faults one endpoint injected. Read it after Run.
+type Stats struct {
+	Dropped   int
+	Dupped    int
+	Delayed   int
+	Reordered int
+	Stalls    int
+	Crashed   bool
+}
+
+// Add accumulates another endpoint's stats.
+func (s *Stats) Add(o Stats) {
+	s.Dropped += o.Dropped
+	s.Dupped += o.Dupped
+	s.Delayed += o.Delayed
+	s.Reordered += o.Reordered
+	s.Stalls += o.Stalls
+	if o.Crashed {
+		s.Crashed = true
+	}
+}
+
+// Machine decorates an inner substrate.Machine with deterministic fault
+// injection. Build one with Wrap, then use it exactly like the inner
+// machine.
+type Machine struct {
+	inner substrate.Machine
+	plan  Plan
+	seed  int64
+	eps   []*Endpoint
+}
+
+// Wrap returns a fault-injecting view of m. seed drives every injection
+// decision: each endpoint derives its own stream (seed+ID), so faulted runs
+// on the deterministic simulator are themselves deterministic, and faulted
+// runs on the goroutine machine never share unsynchronized state.
+func Wrap(m substrate.Machine, plan Plan, seed int64) *Machine {
+	return &Machine{inner: m, plan: plan, seed: seed}
+}
+
+// Spawn implements substrate.Machine. The body runs against a fault-
+// injecting endpoint; a scheduled crash unwinds the body early (recovered
+// here), modeling a fail-stop processor while the machine keeps running.
+func (f *Machine) Spawn(name string, body func(substrate.Endpoint)) {
+	id := len(f.eps)
+	fe := &Endpoint{
+		f:   f,
+		id:  id,
+		rng: rand.New(rand.NewSource(f.seed + int64(id))),
+	}
+	for _, s := range f.plan.Stalls {
+		if s.Proc == id {
+			fe.stalls = append(fe.stalls, s)
+		}
+	}
+	sort.Slice(fe.stalls, func(i, j int) bool { return fe.stalls[i].At < fe.stalls[j].At })
+	fe.crashAt = -1
+	for _, c := range f.plan.Crashes {
+		if c.Proc == id && (fe.crashAt < 0 || c.At < fe.crashAt) {
+			fe.crashAt = c.At
+		}
+	}
+	f.eps = append(f.eps, fe)
+	f.inner.Spawn(name, func(ep substrate.Endpoint) {
+		fe.inner = ep
+		defer func() {
+			if r := recover(); r != nil {
+				if cs, ok := r.(crashSignal); ok && cs.proc == id {
+					return // fail-stop: swallow, machine keeps running
+				}
+				panic(r)
+			}
+		}()
+		body(fe)
+	})
+}
+
+// Run implements substrate.Machine.
+func (f *Machine) Run() error { return f.inner.Run() }
+
+// Stop implements substrate.Machine.
+func (f *Machine) Stop() { f.inner.Stop() }
+
+// NumProcs implements substrate.Machine.
+func (f *Machine) NumProcs() int { return f.inner.NumProcs() }
+
+// Now implements substrate.Machine.
+func (f *Machine) Now() substrate.Time { return f.inner.Now() }
+
+// Makespan implements substrate.Machine.
+func (f *Machine) Makespan() substrate.Time { return f.inner.Makespan() }
+
+// Account implements substrate.Machine.
+func (f *Machine) Account(i int) *substrate.Account { return f.inner.Account(i) }
+
+// Stats returns the machine-wide injection totals. Only read it after Run.
+func (f *Machine) Stats() Stats {
+	var t Stats
+	for _, e := range f.eps {
+		t.Add(e.stats)
+	}
+	return t
+}
+
+// EndpointStats returns processor i's injection counts (after Run).
+func (f *Machine) EndpointStats(i int) Stats { return f.eps[i].stats }
+
+var _ substrate.Machine = (*Machine)(nil)
+
+// held is one message captured from the inner endpoint, with its faulty-layer
+// release schedule.
+type held struct {
+	m *substrate.Msg
+	// release is the earliest time the message may be handed to the
+	// application (zero = immediately).
+	release substrate.Time
+	// order ranks deliverable messages; reordering bumps it past
+	// later arrivals.
+	order uint64
+}
+
+// Endpoint decorates one processor's substrate.Endpoint. Faults are applied
+// on the receive side, as messages are drained from the inner endpoint:
+// drop discards, duplicate enqueues twice, delay holds a message beyond its
+// network arrival, reorder displaces it behind later arrivals. This keeps
+// every decision on the endpoint's own execution context, so injection is
+// deterministic on the simulator and race-free on the goroutine machine.
+type Endpoint struct {
+	f     *Machine
+	inner substrate.Endpoint
+	id    int
+	rng   *rand.Rand
+
+	queue   []held
+	nextOrd uint64
+
+	stalls  []Stall // sorted by At; applied and popped in order
+	crashAt substrate.Time
+	crashed bool
+	stats   Stats
+}
+
+var _ substrate.Endpoint = (*Endpoint)(nil)
+
+// Inner returns the wrapped endpoint (for tests and backend-specific use).
+func (e *Endpoint) Inner() substrate.Endpoint { return e.inner }
+
+// Stats returns this endpoint's injection counts.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// check fires due crash and stall events. Every interposed method calls it,
+// so scheduled faults take effect at the processor's next substrate
+// interaction after their time arrives.
+func (e *Endpoint) check() {
+	now := e.inner.Now()
+	if e.crashAt >= 0 && !e.crashed && now >= e.crashAt {
+		e.crashed = true
+		e.stats.Crashed = true
+		panic(crashSignal{proc: e.id})
+	}
+	for len(e.stalls) > 0 && now >= e.stalls[0].At {
+		s := e.stalls[0]
+		e.stalls = e.stalls[1:]
+		e.stats.Stalls++
+		e.inner.Advance(s.For, substrate.CatIdle)
+		now = e.inner.Now()
+	}
+}
+
+// pump drains every message buffered at the inner endpoint, applying the
+// link fault model message by message.
+func (e *Endpoint) pump() {
+	for e.inner.InboxLen() > 0 {
+		m := e.inner.TryRecv(substrate.CatMessaging)
+		if m == nil {
+			return
+		}
+		lf := e.f.plan.faultsFor(m.Src, e.id)
+		if m.Src == e.id || !lf.active() {
+			// Loopback traffic never crosses a wire; deliver untouched.
+			e.enqueue(m, 0)
+			continue
+		}
+		if lf.Drop > 0 && e.rng.Float64() < lf.Drop {
+			e.stats.Dropped++
+			continue
+		}
+		dup := lf.Dup > 0 && e.rng.Float64() < lf.Dup
+		var release substrate.Time
+		if lf.Delay > 0 && e.rng.Float64() < lf.Delay {
+			e.stats.Delayed++
+			release = e.inner.Now() + 1 + substrate.Time(e.rng.Int63n(int64(lf.DelayMax)))
+		}
+		reorder := lf.Reorder > 0 && e.rng.Float64() < lf.Reorder
+		var bump uint64
+		if reorder {
+			e.stats.Reordered++
+			bump = uint64(1+e.rng.Intn(lf.ReorderDepth)) * 2
+		}
+		e.enqueue(m, release)
+		if bump > 0 {
+			e.queue[len(e.queue)-1].order += bump
+		}
+		if dup {
+			e.stats.Dupped++
+			cp := *m
+			e.enqueue(&cp, release)
+		}
+	}
+}
+
+func (e *Endpoint) enqueue(m *substrate.Msg, release substrate.Time) {
+	ord := e.nextOrd
+	e.nextOrd += 2 // even spacing leaves odd slots for reorder bumps
+	e.queue = append(e.queue, held{m: m, release: release, order: ord})
+}
+
+// pickDeliverable returns the index of the next message the application may
+// receive (lowest order among released messages, optionally filtered by
+// tag), or -1.
+func (e *Endpoint) pickDeliverable(tag int, anyTag bool) int {
+	now := e.inner.Now()
+	best := -1
+	for i, h := range e.queue {
+		if h.release > now {
+			continue
+		}
+		if !anyTag && h.m.Tag != tag {
+			continue
+		}
+		if best < 0 || h.order < e.queue[best].order {
+			best = i
+		}
+	}
+	return best
+}
+
+// nextRelease returns the earliest pending release time among held messages
+// still in the future, or 0 if none.
+func (e *Endpoint) nextRelease() substrate.Time {
+	now := e.inner.Now()
+	var t substrate.Time
+	for _, h := range e.queue {
+		if h.release > now && (t == 0 || h.release < t) {
+			t = h.release
+		}
+	}
+	return t
+}
+
+func (e *Endpoint) take(i int) *substrate.Msg {
+	m := e.queue[i].m
+	e.queue = append(e.queue[:i], e.queue[i+1:]...)
+	return m
+}
+
+// --- substrate.Endpoint implementation ---
+
+// ID implements substrate.Endpoint.
+func (e *Endpoint) ID() int { return e.id }
+
+// Name implements substrate.Endpoint.
+func (e *Endpoint) Name() string { return e.inner.Name() }
+
+// NumPeers implements substrate.Endpoint.
+func (e *Endpoint) NumPeers() int { return e.inner.NumPeers() }
+
+// Now implements substrate.Clock.
+func (e *Endpoint) Now() substrate.Time { return e.inner.Now() }
+
+// Rand implements substrate.Endpoint, passing through the inner stream (the
+// injection stream is private to the decorator).
+func (e *Endpoint) Rand() *rand.Rand { return e.inner.Rand() }
+
+// Account implements substrate.Endpoint.
+func (e *Endpoint) Account() *substrate.Account { return e.inner.Account() }
+
+// Charge implements substrate.Endpoint.
+func (e *Endpoint) Charge(cat substrate.Category, d substrate.Time) { e.inner.Charge(cat, d) }
+
+// Advance implements substrate.Endpoint.
+func (e *Endpoint) Advance(d substrate.Time, cat substrate.Category) {
+	e.check()
+	e.inner.Advance(d, cat)
+}
+
+// Send implements substrate.Endpoint. Faults are charged to the receiving
+// side, so sends pass through untouched (the sender still pays its send CPU
+// for messages the network will lose — as on a real wire).
+func (e *Endpoint) Send(m *substrate.Msg, cat substrate.Category) {
+	e.check()
+	e.inner.Send(m, cat)
+}
+
+// InboxLen implements substrate.Endpoint. Held (delayed) messages have not
+// "arrived" yet and are not counted.
+func (e *Endpoint) InboxLen() int {
+	e.check()
+	e.pump()
+	n := 0
+	now := e.inner.Now()
+	for _, h := range e.queue {
+		if h.release <= now {
+			n++
+		}
+	}
+	return n
+}
+
+// HasMsg implements substrate.Endpoint.
+func (e *Endpoint) HasMsg(tag int) bool {
+	e.check()
+	e.pump()
+	return e.pickDeliverable(tag, false) >= 0
+}
+
+// TryRecv implements substrate.Endpoint.
+func (e *Endpoint) TryRecv(cat substrate.Category) *substrate.Msg {
+	e.check()
+	e.pump()
+	i := e.pickDeliverable(0, true)
+	if i < 0 {
+		return nil
+	}
+	return e.take(i)
+}
+
+// TryRecvTag implements substrate.Endpoint.
+func (e *Endpoint) TryRecvTag(tag int, cat substrate.Category) *substrate.Msg {
+	e.check()
+	e.pump()
+	i := e.pickDeliverable(tag, false)
+	if i < 0 {
+		return nil
+	}
+	return e.take(i)
+}
+
+// Recv implements substrate.Endpoint.
+func (e *Endpoint) Recv(waitCat substrate.Category) *substrate.Msg {
+	e.WaitMsg(waitCat)
+	return e.TryRecv(substrate.CatMessaging)
+}
+
+// WaitMsg implements substrate.Endpoint: it blocks until the decorator has
+// a deliverable message — a message held for extra delay does not count
+// until its release time, so the wait may outlast the inner arrival.
+func (e *Endpoint) WaitMsg(cat substrate.Category) {
+	for {
+		e.check()
+		e.pump()
+		if e.pickDeliverable(0, true) >= 0 {
+			return
+		}
+		if rel := e.nextRelease(); rel > 0 {
+			e.inner.WaitMsgFor(rel-e.inner.Now(), cat)
+			continue
+		}
+		e.inner.WaitMsg(cat)
+	}
+}
+
+// WaitMsgFor implements substrate.Endpoint with the same held-message
+// semantics as WaitMsg.
+func (e *Endpoint) WaitMsgFor(d substrate.Time, cat substrate.Category) bool {
+	deadline := e.inner.Now() + d
+	for {
+		e.check()
+		e.pump()
+		if e.pickDeliverable(0, true) >= 0 {
+			return true
+		}
+		now := e.inner.Now()
+		if now >= deadline {
+			return false
+		}
+		wait := deadline - now
+		if rel := e.nextRelease(); rel > 0 && rel-now < wait {
+			wait = rel - now
+		}
+		e.inner.WaitMsgFor(wait, cat)
+	}
+}

@@ -367,7 +367,11 @@ func (s *Scheduler) Compute(d substrate.Time) {
 	}
 }
 
-// pollThread is one wake-up of the implicit-mode polling thread.
+// pollThread is one wake-up of the implicit-mode polling thread. Besides
+// draining system-tagged balancer traffic, in reliable mode each PollTag
+// also ticks the transport (ack flushing and retransmission), so a
+// processor deep inside a long work unit still repairs lost messages every
+// PollInterval.
 func (s *Scheduler) pollThread() {
 	s.Stats.PollWakes++
 	if s.cfg.PollCost > 0 {
@@ -421,6 +425,11 @@ func (s *Scheduler) Step() bool {
 	if s.stopped {
 		return false
 	}
+	// Idle wait doubles as the reliable transport's retransmission timer:
+	// in dmcs reliable mode, WaitPollFor wakes early for expired streams
+	// and retransmits before going back to sleep, so an idle processor
+	// repairs lost messages without a dedicated thread. (The polling
+	// thread's PollTag does the same during long computations.)
 	s.c.WaitPollFor(s.cfg.IdleTick, substrate.CatIdle)
 	return true
 }

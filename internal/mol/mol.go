@@ -97,6 +97,14 @@ type Stats struct {
 	MigrationsOut  int
 	MigrationsIn   int
 	LocationNotify int
+	// Duplicates counts stale-sequence envelopes discarded on arrival. On a
+	// perfect transport (or under dmcs's reliable mode) it stays zero; a
+	// lossy transport without reliable delivery can duplicate envelopes, and
+	// the MOL drops them here rather than running a handler twice.
+	Duplicates int
+	// MigrationsDup counts duplicate migration messages ignored because the
+	// object was already resident.
+	MigrationsDup int
 }
 
 // DeliverFunc receives in-order messages for locally installed objects.
@@ -317,10 +325,17 @@ func (l *Layer) arrive(env *Envelope) {
 	case env.Seq == want:
 		l.deliverInOrder(obj, env)
 	case env.Seq > want:
+		if _, dup := obj.hold[holdKey{env.Origin, env.Seq}]; dup {
+			l.Stats.Duplicates++
+			return
+		}
 		l.Stats.Held++
 		obj.hold[holdKey{env.Origin, env.Seq}] = env
 	default:
-		panic(fmt.Sprintf("mol: duplicate delivery %s seq %d from %d", env.MP, env.Seq, env.Origin))
+		// Stale sequence: this envelope was already delivered (a transport
+		// duplicate, or a forwarded copy racing a retransmitted one).
+		// Handlers must run exactly once, so the copy is dropped.
+		l.Stats.Duplicates++
 	}
 }
 
@@ -388,9 +403,16 @@ func (l *Layer) Migrate(mp MobilePtr, dst int) error {
 	return nil
 }
 
-// migrateIn installs an arriving object and re-runs held envelopes.
+// migrateIn installs an arriving object and re-runs held envelopes. It is
+// idempotent: a duplicated migration message (lossy transport, no reliable
+// mode) is ignored rather than re-installing — and re-delivering the queued
+// work of — an object that already lives here.
 func (l *Layer) migrateIn(src int, m *migration) {
 	obj := m.obj
+	if _, resident := l.objects[obj.MP]; resident {
+		l.Stats.MigrationsDup++
+		return
+	}
 	l.Stats.MigrationsIn++
 	l.install(obj)
 	if l.OnMigrateIn != nil {

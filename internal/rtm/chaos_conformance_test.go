@@ -1,0 +1,158 @@
+package rtm_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"prema/internal/core"
+	"prema/internal/dmcs"
+	"prema/internal/faulty"
+	"prema/internal/ilb"
+	"prema/internal/mol"
+	"prema/internal/rtm"
+	"prema/internal/sim"
+	"prema/internal/substrate"
+)
+
+// runChaosConformance runs the program-driven conformance workload (see
+// conformance_test.go) with DMCS reliable delivery, and returns each
+// processor's final residents as objectIndex → messages delivered to it.
+// On a faulted machine the protocol counters are timing-dependent, but the
+// application-level outcome must not be: every object on its dictated
+// processor, every object having heard from every processor exactly once.
+func runChaosConformance(t *testing.T, m substrate.Machine, procs, objects int, rel dmcs.RelConfig) []map[int]int {
+	t.Helper()
+	final := make([]map[int]int, procs)
+	for p := 0; p < procs; p++ {
+		m.Spawn(fmt.Sprintf("p%d", p), func(ep substrate.Endpoint) {
+			opts := core.DefaultOptions(ilb.Explicit)
+			opts.Mol.NotifyOrigin = false
+			opts.Rel = rel
+			r := core.NewRuntime(ep, opts)
+			self := ep.ID()
+
+			done := 0
+			var hDone dmcs.HandlerID
+			hDone = r.Comm().Register(func(c *dmcs.Comm, src int, data any, size int) {
+				done++
+				if done == objects {
+					r.StopAll()
+				}
+			})
+			var hWork mol.HandlerID
+			hWork = r.RegisterHandler(func(l *mol.Layer, obj *mol.Object, src int, data any, size int) {
+				o := obj.Data.(*confObj)
+				o.got++
+				r.Compute(2 * substrate.Millisecond)
+				if o.got == procs {
+					r.Comm().SendTagged(0, hDone, nil, 8, substrate.TagApp)
+				}
+			})
+			sendAll := func() {
+				for i := 0; i < objects; i++ {
+					r.Message(mol.MobilePtr{Home: 0, Index: i}, hWork, nil, 8, 0.002)
+				}
+			}
+			hReady := r.Comm().Register(func(c *dmcs.Comm, src int, data any, size int) {
+				sendAll()
+			})
+
+			if self == 0 {
+				for i := 0; i < objects; i++ {
+					r.Register(&confObj{}, 128)
+				}
+				for i := 0; i < objects; i++ {
+					if dst := i % procs; dst != 0 {
+						if err := r.Mol().Migrate(mol.MobilePtr{Home: 0, Index: i}, dst); err != nil {
+							t.Error(err)
+						}
+					}
+				}
+				for q := 1; q < procs; q++ {
+					r.Comm().SendTagged(q, hReady, nil, 8, substrate.TagApp)
+				}
+				sendAll()
+			}
+			r.Run()
+
+			mine := make(map[int]int)
+			for mp, obj := range r.Mol().Local() {
+				mine[mp.Index] = obj.Data.(*confObj).got
+			}
+			final[self] = mine
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return final
+}
+
+// checkChaosOutcome asserts the dictated placement and exactly-once
+// delivery.
+func checkChaosOutcome(t *testing.T, final []map[int]int, procs, objects int) {
+	t.Helper()
+	seen := make(map[int]int) // object → resident proc
+	for p, mine := range final {
+		for idx, got := range mine {
+			if prev, dup := seen[idx]; dup {
+				t.Errorf("object %d resident on both proc %d and proc %d", idx, prev, p)
+			}
+			seen[idx] = p
+			if want := idx % procs; p != want {
+				t.Errorf("object %d ended on proc %d, want %d", idx, p, want)
+			}
+			if got != procs {
+				t.Errorf("object %d heard %d messages, want exactly %d", idx, got, procs)
+			}
+		}
+	}
+	if len(seen) != objects {
+		var missing []int
+		for i := 0; i < objects; i++ {
+			if _, ok := seen[i]; !ok {
+				missing = append(missing, i)
+			}
+		}
+		sort.Ints(missing)
+		t.Errorf("%d of %d objects lost: %v", objects-len(seen), objects, missing)
+	}
+}
+
+// TestCrossBackendChaosConformance: the conformance workload on a lossy,
+// duplicating, reordering machine — on both backends — must still reach the
+// exact application-level outcome the program dictates. This is the
+// cross-backend acceptance test for the fault-injection + reliable-delivery
+// pair: the same PREMA stack, the same fault plan, surviving on the
+// deterministic simulator and under real concurrency.
+func TestCrossBackendChaosConformance(t *testing.T) {
+	const procs, objects = 4, 16
+	plan := faulty.Plan{Default: faulty.LinkFaults{Drop: 0.15, Dup: 0.10, Reorder: 0.20}}
+	rel := dmcs.RelConfig{
+		Enabled:      true,
+		RTO:          10 * substrate.Millisecond,
+		RTOMax:       100 * substrate.Millisecond,
+		Linger:       300 * substrate.Millisecond,
+		DrainTimeout: 30 * substrate.Second,
+	}
+	t.Run("sim", func(t *testing.T) {
+		m := faulty.Wrap(sim.NewMachine(sim.Config{Seed: 9}), plan, 21)
+		final := runChaosConformance(t, m, procs, objects, rel)
+		checkChaosOutcome(t, final, procs, objects)
+		if st := m.Stats(); st.Dropped == 0 || st.Dupped == 0 {
+			t.Errorf("fault injection too quiet: %+v", st)
+		}
+	})
+	t.Run("real", func(t *testing.T) {
+		cfg := rtm.DefaultConfig()
+		cfg.Seed = 9
+		cfg.TimeScale = 1e-2 // keep sub-RTO waits above the host timer floor
+		if raceDetector {
+			cfg.TimeScale *= 10
+		}
+		m := faulty.Wrap(rtm.New(cfg), plan, 21)
+		final := runChaosConformance(t, m, procs, objects, rel)
+		checkChaosOutcome(t, final, procs, objects)
+	})
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package rtm_test
+
+const raceDetector = false

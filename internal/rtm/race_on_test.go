@@ -1,0 +1,8 @@
+//go:build race
+
+package rtm_test
+
+// raceDetector reports whether this test binary was built with -race.
+// Instrumentation slows every memory access, so timing-sensitive tests
+// scale their virtual clocks accordingly.
+const raceDetector = true

@@ -22,6 +22,11 @@ type Msg struct {
 	Data any
 	// Size is the modeled payload size in bytes.
 	Size int
+	// Seq is a layered-protocol sequence number. The substrate itself never
+	// reads or writes it; reliable-delivery layers (dmcs's reliable mode)
+	// stamp per-stream sequence numbers here so receivers can deduplicate
+	// and reorder. Zero means "unsequenced".
+	Seq uint64
 	// SentAt and ArrivedAt are stamped by the substrate.
 	SentAt, ArrivedAt Time
 }
