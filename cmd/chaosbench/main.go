@@ -8,7 +8,14 @@
 //	chaosbench [-system prema-implicit] [-figs 3,4,5,6] \
 //	           [-procs 32] [-units-per-proc 32] \
 //	           [-fault-plan "drop=0.2,dup=0.1"] [-fault-seed 1] \
-//	           [-rto 50ms] [-backend sim|real] [-timescale 1e-2] [-spin]
+//	           [-rto 50ms] [-backend sim|real] [-timescale 1e-2] [-spin] \
+//	           [-trace trace.json] [-metrics metrics.txt]
+//
+// -trace/-metrics record every run through internal/trace (the tracing
+// decorator wraps outside the fault injector, so the stream shows the
+// retransmissions the reliable protocol performed) and write one
+// Perfetto-loadable Chrome trace / metrics rendering per run, suffixing
+// figN.label (clean, reliable, faulted) before the file extension.
 //
 // For each figure scenario it runs three configurations:
 //
@@ -40,6 +47,7 @@ import (
 	"prema/internal/dmcs"
 	"prema/internal/faulty"
 	"prema/internal/substrate"
+	"prema/internal/trace"
 )
 
 func main() {
@@ -53,6 +61,9 @@ func main() {
 	backend := flag.String("backend", "sim", "execution substrate: sim (deterministic) | real (goroutines)")
 	timescale := flag.Float64("timescale", 1e-2, "real backend: wall seconds per virtual second")
 	spin := flag.Bool("spin", false, "real backend: busy-wait instead of sleeping")
+	traceOut := flag.String("trace", "", "write Chrome trace JSON per run (base path; figN.label is inserted before the extension)")
+	metricsOut := flag.String("metrics", "", "write aggregated trace metrics per run (base path, same suffixing; .json = JSON)")
+	traceRing := flag.Int("trace-ring", trace.DefaultRingCap, "per-processor trace ring capacity in events (rounded up to a power of two)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -98,12 +109,19 @@ func main() {
 	rel := dmcs.DefaultRelConfig()
 	rel.RTO = substrate.FromDuration(*rto)
 
+	if (*traceOut != "" || *metricsOut != "") && *traceRing < 1 {
+		fmt.Fprintf(os.Stderr, "chaosbench: -trace-ring must be >= 1 (got %d)\n", *traceRing)
+		os.Exit(2)
+	}
+	sink := traceSink{tracePath: *traceOut, metricsPath: *metricsOut, ring: *traceRing}
+
 	failed := false
 	for _, spec := range specs {
 		w := bench.PaperWorkload(spec, *procs, *upp)
 		fmt.Printf("=== Figure %d scenario: imbalance %.0f%%, heavy = %.1fx light (procs=%d, units=%d, backend=%s) ===\n",
 			spec.ID, spec.Imbalance*100, spec.Ratio, w.Procs, w.Units, *backend)
-		if !run(w, *system, plan, *faultSeed, rel, *backend, *timescale, *spin) {
+		sink.fig = spec.ID
+		if !run(w, *system, plan, *faultSeed, rel, *backend, *timescale, *spin, sink) {
 			failed = true
 		}
 		fmt.Println()
@@ -113,9 +131,52 @@ func main() {
 	}
 }
 
+// traceSink carries the per-run trace/metrics export configuration.
+type traceSink struct {
+	tracePath   string
+	metricsPath string
+	ring        int
+	fig         int
+}
+
+func (ts traceSink) active() bool { return ts.tracePath != "" || ts.metricsPath != "" }
+
+// collector returns a fresh collector when exporting is on, nil otherwise.
+func (ts traceSink) collector() *trace.Collector {
+	if !ts.active() {
+		return nil
+	}
+	return trace.NewCollector(ts.ring)
+}
+
+// write exports one labeled run's trace and metrics.
+func (ts traceSink) write(label string, col *trace.Collector, r *bench.Result) bool {
+	if col == nil {
+		return true
+	}
+	suffix := fmt.Sprintf("fig%d.%s", ts.fig, label)
+	if ts.tracePath != "" {
+		path := trace.SuffixPath(ts.tracePath, suffix)
+		if err := col.WriteChromeFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "chaosbench:", err)
+			return false
+		}
+		fmt.Printf("  wrote %s (%d events, %d dropped)\n", path, col.Total(), col.Dropped())
+	}
+	if ts.metricsPath != "" {
+		path := trace.SuffixPath(ts.metricsPath, suffix)
+		if err := trace.Summarize(col, r.Makespan).WriteFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "chaosbench:", err)
+			return false
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
+	return true
+}
+
 // run executes the clean / reliable / faulted triple on one workload and
 // prints the comparison. Returns false if any check failed.
-func run(w bench.Workload, system string, plan faulty.Plan, faultSeed int64, rel dmcs.RelConfig, backend string, timescale float64, spin bool) bool {
+func run(w bench.Workload, system string, plan faulty.Plan, faultSeed int64, rel dmcs.RelConfig, backend string, timescale float64, spin bool, sink traceSink) bool {
 	base := bench.ChaosSpec{System: system, Backend: backend, TimeScale: timescale, Spin: spin}
 
 	relSpec := base
@@ -126,29 +187,35 @@ func run(w bench.Workload, system string, plan faulty.Plan, faultSeed int64, rel
 	faulted.FaultSeed = faultSeed
 
 	ok := true
+	base.Trace = sink.collector()
 	clean, _, err := bench.RunChaos(w, base)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaosbench:", err)
 		return false
 	}
 	report("clean", clean, faulty.Stats{}, &ok)
+	ok = sink.write("clean", base.Trace, clean) && ok
 
+	relSpec.Trace = sink.collector()
 	relRes, _, err := bench.RunChaos(w, relSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaosbench:", err)
 		return false
 	}
 	report("reliable", relRes, faulty.Stats{}, &ok)
+	ok = sink.write("reliable", relSpec.Trace, relRes) && ok
 	overhead := 100 * (relRes.Makespan.Seconds() - clean.Makespan.Seconds()) / clean.Makespan.Seconds()
 	fmt.Printf("  reliable-mode overhead on a fault-free network: %+.2f%% of makespan\n", overhead)
 
 	if plan.Active() {
+		faulted.Trace = sink.collector()
 		fRes, fStats, err := bench.RunChaos(w, faulted)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "chaosbench:", err)
 			return false
 		}
 		report("faulted", fRes, fStats, &ok)
+		ok = sink.write("faulted", faulted.Trace, fRes) && ok
 		if fRes.Counters["units_run"] != clean.Counters["units_run"] {
 			fmt.Printf("  FAIL: faulted run computed %d units, clean run %d\n",
 				fRes.Counters["units_run"], clean.Counters["units_run"])

@@ -3,7 +3,14 @@
 //
 // Usage:
 //
-//	figures [-fig N] [-procs P] [-units-per-proc U] [-stride S] [-jobs J]
+//	figures [-fig N] [-procs P] [-units-per-proc U] [-stride S] [-jobs J] \
+//	        [-csv DIR] [-trace trace.json] [-metrics metrics.txt]
+//
+// -trace and -metrics re-run the PREMA systems of each selected figure with
+// the internal/trace recorder attached (observational — same makespans as
+// the main sweep) and write one Perfetto-loadable Chrome trace / metrics
+// rendering per (figure, system), suffixing figN.system before the file
+// extension.
 //
 // With no -fig, all four figures run. -stride 0 suppresses the per-processor
 // breakdown tables (the summary lines always print). -fig 1 prints the
@@ -22,6 +29,7 @@ import (
 
 	"prema/internal/bench"
 	"prema/internal/sweep"
+	"prema/internal/trace"
 )
 
 const taxonomy = `Figure 1 — Using synchronization as a criterion for system classification
@@ -40,6 +48,9 @@ func main() {
 	stride := flag.Int("stride", 8, "per-processor breakdown sampling stride (0 = summaries only)")
 	jobs := flag.Int("jobs", sweep.DefaultJobs(), "max simulations in flight (1 = serial)")
 	csvDir := flag.String("csv", "", "directory to write per-system breakdown CSVs into (plots)")
+	traceOut := flag.String("trace", "", "record the PREMA systems and write Chrome trace JSON per figure+system (base path; figN.system is inserted before the extension)")
+	metricsOut := flag.String("metrics", "", "write aggregated trace metrics per figure+system (base path, same suffixing; .json = JSON)")
+	traceRing := flag.Int("trace-ring", trace.DefaultRingCap, "per-processor trace ring capacity in events (rounded up to a power of two)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -87,6 +98,67 @@ func main() {
 			}
 		}
 	}
+	if *traceOut != "" || *metricsOut != "" {
+		if *traceRing < 1 {
+			fmt.Fprintf(os.Stderr, "figures: -trace-ring must be >= 1 (got %d)\n", *traceRing)
+			os.Exit(2)
+		}
+		if err := writeTraces(specs, *procs, *upp, *jobs, *traceRing, *traceOut, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// tracedSystems are the figure configurations that run a real transport and
+// can therefore record a trace (the baseline cost models cannot).
+var tracedSystems = []string{"none", "prema-explicit", "prema-implicit"}
+
+// writeTraces re-runs the PREMA systems of each figure with event tracing
+// attached and exports one trace/metrics file per (figure, system). Tracing
+// is observational, so these runs report the same makespans as the untraced
+// sweep above.
+func writeTraces(specs []bench.FigureSpec, procs, upp, jobs, ring int, traceOut, metricsOut string) error {
+	type job struct {
+		spec bench.FigureSpec
+		name string
+	}
+	var js []job
+	for _, spec := range specs {
+		for _, name := range tracedSystems {
+			js = append(js, job{spec, name})
+		}
+	}
+	type traced struct {
+		col *trace.Collector
+		res *bench.Result
+	}
+	outs, err := sweep.Map(jobs, len(js), func(i int) (traced, error) {
+		col := trace.NewCollector(ring)
+		r, err := bench.RunSystemTraced(js[i].name, bench.PaperWorkload(js[i].spec, procs, upp), col)
+		return traced{col, r}, err
+	})
+	if err != nil {
+		return err
+	}
+	for i, t := range outs {
+		suffix := fmt.Sprintf("fig%d.%s", js[i].spec.ID, js[i].name)
+		if traceOut != "" {
+			path := trace.SuffixPath(traceOut, suffix)
+			if err := t.col.WriteChromeFile(path); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d events, %d dropped)\n", path, t.col.Total(), t.col.Dropped())
+		}
+		if metricsOut != "" {
+			path := trace.SuffixPath(metricsOut, suffix)
+			if err := trace.Summarize(t.col, t.res.Makespan).WriteFile(path); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	return nil
 }
 
 // writeCSVs dumps one breakdown CSV per system of the figure.

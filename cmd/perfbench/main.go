@@ -1,24 +1,30 @@
 // Command perfbench measures the simulator's host performance and the sweep
 // runner's parallel speedup, and writes the numbers to a JSON file (the
-// repository's BENCH trajectory: BENCH_PR2.json at the repo root).
+// repository's BENCH trajectory: BENCH_PR5.json at the repo root).
 //
 // Usage:
 //
-//	perfbench [-out BENCH_PR2.json] [-procs 128] [-units-per-proc 128] \
-//	          [-jobs J] [-events 500000] [-skip-sweep]
+//	perfbench [-out BENCH_PR5.json] [-procs 128] [-units-per-proc 128] \
+//	          [-jobs J] [-events 500000] [-skip-sweep] [-skip-trace]
 //
-// It reports two layers, matching the two levels of the performance work:
+// It reports three layers, matching the levels of the performance work:
 //
 //   - engine: microbenchmarks of the discrete-event core — ns/event,
 //     allocs/event and events/sec for the Advance hot path, plus the
 //     simulated active-message round trip;
+//   - trace: the internal/trace recording hot path (ns/event, allocs/event
+//     — must be 0), and the tracing overhead on the paper's four figure
+//     scenarios: virtual makespan with tracing on vs off (tracing is
+//     observational, so the delta must be 0%) and host wall-clock delta —
+//     the repository's version of the paper's "<1% runtime overhead" claim;
 //   - sweep: wall-clock time of the paper's 4-figure × 6-system evaluation
 //     campaign (24 independent simulations) run serially and with -jobs
 //     workers, with a byte-identity cross-check between the two.
 //
 // The default scale (-procs 128 -units-per-proc 128) is the paper's; use a
 // smaller scale for a quick look. Expect the full-scale run to take several
-// minutes per sweep pass.
+// minutes per sweep pass. Stray positional arguments and invalid flag values
+// exit with status 2, matching the other commands.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"prema/internal/dmcs"
 	"prema/internal/sim"
 	"prema/internal/sweep"
+	"prema/internal/trace"
 )
 
 // Report is the schema of the emitted JSON.
@@ -40,6 +47,7 @@ type Report struct {
 	Bench string     `json:"bench"`
 	Host  HostInfo   `json:"host"`
 	Eng   EngineInfo `json:"engine"`
+	Trace *TraceInfo `json:"trace,omitempty"`
 	Sweep *SweepInfo `json:"sweep,omitempty"`
 }
 
@@ -64,6 +72,32 @@ type EngineInfo struct {
 	AMRoundTripAllocs float64 `json:"am_roundtrip_allocs"`
 }
 
+// TraceScenario is one figure scenario's tracing-on vs tracing-off
+// comparison. Virtual overhead must be 0% (tracing charges no substrate
+// time); wall overhead is the host-side cost of recording.
+type TraceScenario struct {
+	Figure          int     `json:"figure"`
+	MakespanOffS    float64 `json:"makespan_off_s"`
+	MakespanOnS     float64 `json:"makespan_on_s"`
+	OverheadPct     float64 `json:"overhead_pct"`
+	WallOffS        float64 `json:"wall_off_s"`
+	WallOnS         float64 `json:"wall_on_s"`
+	WallOverheadPct float64 `json:"wall_overhead_pct"`
+	Events          uint64  `json:"events"`
+}
+
+// TraceInfo holds the tracing hot-path microbenchmark and the per-scenario
+// overhead sweep (system: prema-implicit, sim backend).
+type TraceInfo struct {
+	NsPerEvent     float64         `json:"ns_per_event"`
+	AllocsPerEvent float64         `json:"allocs_per_event"`
+	System         string          `json:"system"`
+	Procs          int             `json:"procs"`
+	UnitsPerProc   int             `json:"units_per_proc"`
+	Scenarios      []TraceScenario `json:"scenarios"`
+	MaxOverheadPct float64         `json:"max_overhead_pct"`
+}
+
 // SweepInfo holds the serial vs parallel campaign timing.
 type SweepInfo struct {
 	Figures          []int    `json:"figures"`
@@ -79,21 +113,30 @@ type SweepInfo struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
-	procs := flag.Int("procs", 128, "simulated processors for the sweep timing")
-	upp := flag.Int("units-per-proc", 128, "work units per processor for the sweep timing")
+	out := flag.String("out", "BENCH_PR5.json", "output JSON path")
+	procs := flag.Int("procs", 128, "simulated processors for the sweep and trace timing")
+	upp := flag.Int("units-per-proc", 128, "work units per processor for the sweep and trace timing")
 	jobs := flag.Int("jobs", sweep.DefaultJobs(), "parallel sweep worker count")
 	events := flag.Int("events", 500_000, "microbenchmark event count")
-	skipSweep := flag.Bool("skip-sweep", false, "measure only the engine microbenchmarks")
+	skipSweep := flag.Bool("skip-sweep", false, "skip the serial-vs-parallel sweep timing")
+	skipTrace := flag.Bool("skip-trace", false, "skip the tracing-overhead scenario sweep")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "perfbench: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "perfbench: -out must not be empty")
+		os.Exit(2)
+	}
 	if *procs < 1 || *upp < 1 || *jobs < 1 || *events < 1 {
 		fmt.Fprintln(os.Stderr, "perfbench: -procs, -units-per-proc, -jobs and -events must be positive")
 		os.Exit(2)
 	}
 
 	rep := Report{
-		Bench: "PR2",
+		Bench: "PR5",
 		Host: HostInfo{
 			GoVersion:  runtime.Version(),
 			GOOS:       runtime.GOOS,
@@ -108,6 +151,22 @@ func main() {
 	fmt.Printf("  advance:  %8.1f ns/event  %.4f allocs/event  %.1f B/event  %.2fM events/s\n",
 		rep.Eng.NsPerEvent, rep.Eng.AllocsPerEvent, rep.Eng.BytesPerEvent, rep.Eng.EventsPerSec/1e6)
 	fmt.Printf("  AM trip:  %8.1f ns/msg    %.4f allocs/msg\n", rep.Eng.AMRoundTripNs, rep.Eng.AMRoundTripAllocs)
+
+	if !*skipTrace {
+		fmt.Printf("perfbench: trace hot path (%d events) + overhead scenarios...\n", *events)
+		ti, err := measureTrace(*events, *procs, *upp, *jobs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		rep.Trace = ti
+		fmt.Printf("  record:   %8.1f ns/event  %.4f allocs/event\n", ti.NsPerEvent, ti.AllocsPerEvent)
+		for _, s := range ti.Scenarios {
+			fmt.Printf("  fig %d:    makespan %-9.1fs -> %-9.1fs (%+.4f%% virtual)  wall %.2fs -> %.2fs (%+.1f%%)  %d events\n",
+				s.Figure, s.MakespanOffS, s.MakespanOnS, s.OverheadPct, s.WallOffS, s.WallOnS, s.WallOverheadPct, s.Events)
+		}
+		fmt.Printf("  max virtual makespan overhead with tracing on: %.4f%%\n", ti.MaxOverheadPct)
+	}
 
 	if !*skipSweep {
 		info, err := measureSweep(*procs, *upp, *jobs)
@@ -229,6 +288,85 @@ func measureEngine(events int) EngineInfo {
 		info.EventsPerSec = 1e9 / info.NsPerEvent
 	}
 	return info
+}
+
+// measureTrace benchmarks the trace recording hot path and measures the
+// tracing overhead on the four paper figure scenarios (prema-implicit, sim
+// backend): virtual makespan with tracing on vs off — the repository's
+// version of the paper's "<1%" overhead claim — plus the host wall-clock
+// delta, which is what recording actually costs the machine running the
+// simulation.
+func measureTrace(events, procs, upp, jobs int) (*TraceInfo, error) {
+	const warm = 10_000
+	const system = "prema-implicit"
+	r := trace.NewRecorder(0, trace.DefaultRingCap)
+	for i := 0; i < warm; i++ {
+		r.Instant(trace.EvSend, sim.Time(i), 1, 2, 3)
+	}
+	rec := probe{n: events}
+	m0, t0 := rec.begin()
+	for i := 0; i < rec.n; i++ {
+		r.Instant(trace.EvSend, sim.Time(i), 1, 2, 3)
+	}
+	rec.end(m0, t0)
+
+	ti := &TraceInfo{
+		NsPerEvent:     float64(rec.dur.Nanoseconds()) / float64(rec.n),
+		AllocsPerEvent: float64(rec.allocs) / float64(rec.n),
+		System:         system,
+		Procs:          procs,
+		UnitsPerProc:   upp,
+	}
+	type outcome struct {
+		scen TraceScenario
+		off  string // Report(0) fingerprints, compared below
+		on   string
+	}
+	specs := bench.Figures()
+	outs, err := sweep.Map(jobs, len(specs), func(i int) (outcome, error) {
+		w := bench.PaperWorkload(specs[i], procs, upp)
+		t0 := time.Now()
+		off, err := bench.RunSystem(system, w)
+		if err != nil {
+			return outcome{}, err
+		}
+		wallOff := time.Since(t0).Seconds()
+		col := trace.NewCollector(0)
+		t1 := time.Now()
+		on, err := bench.RunSystemTraced(system, w, col)
+		if err != nil {
+			return outcome{}, err
+		}
+		wallOn := time.Since(t1).Seconds()
+		s := TraceScenario{
+			Figure:       specs[i].ID,
+			MakespanOffS: off.Makespan.Seconds(),
+			MakespanOnS:  on.Makespan.Seconds(),
+			WallOffS:     wallOff,
+			WallOnS:      wallOn,
+			Events:       col.Total(),
+		}
+		if s.MakespanOffS > 0 {
+			s.OverheadPct = 100 * (s.MakespanOnS - s.MakespanOffS) / s.MakespanOffS
+		}
+		if wallOff > 0 {
+			s.WallOverheadPct = 100 * (wallOn - wallOff) / wallOff
+		}
+		return outcome{scen: s, off: off.Summary(), on: on.Summary()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outs {
+		if o.off != o.on {
+			return nil, fmt.Errorf("traced run diverged from untraced: %q vs %q", o.off, o.on)
+		}
+		if o.scen.OverheadPct > ti.MaxOverheadPct {
+			ti.MaxOverheadPct = o.scen.OverheadPct
+		}
+		ti.Scenarios = append(ti.Scenarios, o.scen)
+	}
+	return ti, nil
 }
 
 // measureSweep times the full evaluation campaign serially and in parallel

@@ -6,7 +6,17 @@
 //	premabench -system prema-implicit -imbalance 0.5 -ratio 2.0 \
 //	           [-procs 128] [-units-per-proc 128] [-stride 8] [-hints mean] \
 //	           [-jobs J] [-backend sim|real] [-timescale 1e-3] [-spin] \
-//	           [-fault-plan PLAN] [-fault-seed N] [-reliable]
+//	           [-fault-plan PLAN] [-fault-seed N] [-reliable] \
+//	           [-trace trace.json] [-metrics metrics.txt] [-trace-ring N]
+//
+// -trace records the run's event stream (internal/trace) and writes it as
+// Chrome trace_event JSON, loadable in Perfetto (https://ui.perfetto.dev) for
+// per-processor compute/idle/messaging timelines with migration arrows;
+// -metrics writes the aggregated counters/histograms (text, or JSON when the
+// file ends in .json). Tracing is observational: it charges no substrate
+// time, so a traced simulator run reports the same makespan and accounts as
+// an untraced one. Both flags apply to the PREMA configurations only. In
+// multi-system mode the system name is inserted before the file extension.
 //
 // -fault-plan injects faults (message drop, duplication, delay, reordering,
 // processor stalls and crashes — see internal/faulty for the syntax) at the
@@ -45,6 +55,7 @@ import (
 	"prema/internal/rtm"
 	"prema/internal/substrate"
 	"prema/internal/sweep"
+	"prema/internal/trace"
 )
 
 func main() {
@@ -62,6 +73,9 @@ func main() {
 	planS := flag.String("fault-plan", "", "fault plan injected at the substrate seam (internal/faulty syntax; PREMA systems only)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
 	reliable := flag.Bool("reliable", false, "switch DMCS into reliable-delivery mode (PREMA systems only)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline to FILE (PREMA systems only; multi-system mode suffixes the system name)")
+	metricsOut := flag.String("metrics", "", "write aggregated trace metrics to FILE (.json = JSON, else text; PREMA systems only)")
+	traceRing := flag.Int("trace-ring", trace.DefaultRingCap, "per-processor trace ring capacity in events (rounded up to a power of two)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -104,6 +118,25 @@ func main() {
 		systems[i] = strings.TrimSpace(s)
 	}
 
+	tracing := *traceOut != "" || *metricsOut != ""
+	var cols []*trace.Collector
+	if tracing {
+		if *traceRing < 1 {
+			fmt.Fprintf(os.Stderr, "premabench: -trace-ring must be >= 1 (got %d)\n", *traceRing)
+			os.Exit(2)
+		}
+		for _, s := range systems {
+			if !bench.TracedSystem(s) {
+				fmt.Fprintf(os.Stderr, "premabench: system %q is a cost model without a transport; -trace/-metrics need a PREMA configuration\n", s)
+				os.Exit(2)
+			}
+		}
+		cols = make([]*trace.Collector, len(systems))
+		for i := range cols {
+			cols[i] = trace.NewCollector(*traceRing)
+		}
+	}
+
 	chaos := plan.Active() || *reliable
 	var results []*bench.Result
 	switch {
@@ -128,11 +161,17 @@ func main() {
 		results, err = sweep.Map(*jobs, len(systems), func(i int) (*bench.Result, error) {
 			cs := cs
 			cs.System = systems[i]
+			if tracing {
+				cs.Trace = cols[i]
+			}
 			r, _, err := bench.RunChaos(w, cs)
 			return r, err
 		})
 	case *backend == "sim":
 		results, err = sweep.Map(*jobs, len(systems), func(i int) (*bench.Result, error) {
+			if tracing {
+				return bench.RunSystemTraced(systems[i], w, cols[i])
+			}
 			return runSim(systems[i], w)
 		})
 	case *backend == "real":
@@ -140,8 +179,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "premabench: multi-system mode is simulator-only; use -backend=sim")
 			os.Exit(2)
 		}
+		var col *trace.Collector
+		if tracing {
+			col = cols[0]
+		}
 		var r *bench.Result
-		r, err = runReal(systems[0], w, *timescale, *spin)
+		r, err = runReal(systems[0], w, *timescale, *spin, col)
 		results = []*bench.Result{r}
 	default:
 		fmt.Fprintf(os.Stderr, "premabench: unknown backend %q (want sim or real)\n", *backend)
@@ -163,6 +206,40 @@ func main() {
 			fmt.Printf("counters (%s): %v\n", r.System, r.Counters)
 		}
 	}
+	if tracing {
+		for i, col := range cols {
+			if err := writeTrace(col, results[i], systems[i], len(systems) > 1, *traceOut, *metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "premabench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeTrace exports one run's collector to the requested trace and metrics
+// files; multi-system mode inserts the system name before the extension.
+func writeTrace(col *trace.Collector, r *bench.Result, system string, multi bool, traceOut, metricsOut string) error {
+	if traceOut != "" {
+		path := traceOut
+		if multi {
+			path = trace.SuffixPath(path, system)
+		}
+		if err := col.WriteChromeFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events, %d dropped)\n", path, col.Total(), col.Dropped())
+	}
+	if metricsOut != "" {
+		path := metricsOut
+		if multi {
+			path = trace.SuffixPath(path, system)
+		}
+		if err := trace.Summarize(col, r.Makespan).WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
 }
 
 // runSim runs one system configuration on the deterministic simulator.
@@ -176,8 +253,8 @@ func runSim(system string, w bench.Workload) (*bench.Result, error) {
 }
 
 // runReal runs one PREMA system configuration on the real-concurrency
-// backend.
-func runReal(system string, w bench.Workload, timescale float64, spin bool) (*bench.Result, error) {
+// backend, with event tracing attached when col is non-nil.
+func runReal(system string, w bench.Workload, timescale float64, spin bool, col *trace.Collector) (*bench.Result, error) {
 	if !strings.HasPrefix(system, "prema") && system != "none" {
 		fmt.Fprintf(os.Stderr, "system %q models a third-party runtime and is simulator-only; use -backend=sim\n", system)
 		os.Exit(2)
@@ -187,6 +264,9 @@ func runReal(system string, w bench.Workload, timescale float64, spin bool) (*be
 	cfg.TimeScale = timescale
 	cfg.Spin = spin
 	var m substrate.Machine = rtm.New(cfg)
+	if col != nil {
+		m = trace.Wrap(m, col)
+	}
 	switch system {
 	case "prema-diffusion", "prema-multilist", "prema-worksteal":
 		return bench.RunPremaPolicyOn(m, w, system[len("prema-"):])

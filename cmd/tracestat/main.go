@@ -1,0 +1,200 @@
+// Command tracestat summarizes a Chrome trace_event JSON file produced by
+// the internal/trace exporter (premabench/figures/chaosbench -trace): the
+// per-processor time breakdown by phase, migration traffic, forwarding-chain
+// lengths, and work-unit duration percentiles — the drilldown behind the
+// paper's idle-time and overhead claims, without opening Perfetto.
+//
+// Usage:
+//
+//	tracestat [-stride N] trace.json
+//
+// -stride samples the per-processor table (0 = totals only, 1 = every
+// processor). Exits 2 on flag errors, 1 if the file is not a Chrome trace.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"prema/internal/stats"
+)
+
+// tev is the subset of a Chrome trace_event record tracestat reads.
+type tev struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Args map[string]any `json:"args"`
+}
+
+// traceFile is the top-level Chrome trace JSON object.
+type traceFile struct {
+	TraceEvents []tev `json:"traceEvents"`
+}
+
+func main() {
+	stride := flag.Int("stride", 1, "per-processor table sampling stride (0 = totals only)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "tracestat: exactly one trace file argument required")
+		os.Exit(2)
+	}
+	if *stride < 0 {
+		fmt.Fprintf(os.Stderr, "tracestat: -stride must be >= 0 (got %d)\n", *stride)
+		os.Exit(2)
+	}
+	buf, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf, &tf); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat: not a Chrome trace:", err)
+		os.Exit(1)
+	}
+	if len(tf.TraceEvents) == 0 {
+		fmt.Fprintln(os.Stderr, "tracestat: no traceEvents in file")
+		os.Exit(1)
+	}
+	summarize(os.Stdout, &tf, *stride)
+}
+
+// procStat accumulates one processor's row.
+type procStat struct {
+	phases     map[string]float64 // seconds per phase name
+	units      int
+	unitS      []float64
+	migOut     int
+	migIn      int
+	forwards   int
+	sends      int
+	retransmit int
+}
+
+func summarize(w *os.File, tf *traceFile, stride int) {
+	procs := map[int]*procStat{}
+	get := func(tid int) *procStat {
+		p := procs[tid]
+		if p == nil {
+			p = &procStat{phases: map[string]float64{}}
+			procs[tid] = p
+		}
+		return p
+	}
+	phaseNames := map[string]bool{}
+	var hops []float64
+	var end float64
+	for _, e := range tf.TraceEvents {
+		if t := e.Ts + e.Dur; t > end {
+			end = t
+		}
+		switch {
+		case e.Ph == "X" && e.Cat == "phase":
+			get(e.Tid).phases[e.Name] += e.Dur / 1e6
+			phaseNames[e.Name] = true
+		case e.Ph == "X" && e.Name == "unit":
+			p := get(e.Tid)
+			p.units++
+			p.unitS = append(p.unitS, e.Dur/1e6)
+		case e.Ph == "i":
+			p := get(e.Tid)
+			switch e.Name {
+			case "migrate-out":
+				p.migOut++
+			case "migrate-in":
+				p.migIn++
+			case "forward":
+				p.forwards++
+				if h, ok := e.Args["hops"].(float64); ok {
+					hops = append(hops, h)
+				}
+			case "send":
+				p.sends++
+			case "retransmit":
+				p.retransmit++
+			}
+		}
+	}
+
+	tids := make([]int, 0, len(procs))
+	for tid := range procs {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	names := make([]string, 0, len(phaseNames))
+	for n := range phaseNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var allUnits []float64
+	tot := &procStat{phases: map[string]float64{}}
+	for _, tid := range tids {
+		p := procs[tid]
+		for n, s := range p.phases {
+			tot.phases[n] += s
+		}
+		tot.units += p.units
+		tot.migOut += p.migOut
+		tot.migIn += p.migIn
+		tot.forwards += p.forwards
+		tot.sends += p.sends
+		tot.retransmit += p.retransmit
+		allUnits = append(allUnits, p.unitS...)
+	}
+
+	fmt.Fprintf(w, "trace: %d processors, %d events, span %.3fs\n\n",
+		len(tids), len(tf.TraceEvents), end/1e6)
+
+	header := append([]string{"proc"}, names...)
+	header = append(header, "units", "mig-out", "mig-in", "fwd", "sends")
+	t := stats.NewTable(header...)
+	row := func(label string, p *procStat) {
+		cells := []any{label}
+		for _, n := range names {
+			cells = append(cells, fmt.Sprintf("%.2fs", p.phases[n]))
+		}
+		cells = append(cells, p.units, p.migOut, p.migIn, p.forwards, p.sends)
+		t.AddRow(cells...)
+	}
+	if stride > 0 {
+		for i := 0; i < len(tids); i += stride {
+			p := procs[tids[i]]
+			row(fmt.Sprintf("p%03d", tids[i]), p)
+		}
+	}
+	row("TOTAL", tot)
+	fmt.Fprintln(w, t.String())
+
+	// Idle share across the machine: the headline number of the paper's
+	// figures (idle is what load balancing removes).
+	var busy, idle float64
+	for n, s := range tot.phases {
+		busy += s
+		if n == "Idle" {
+			idle = s
+		}
+	}
+	if busy > 0 {
+		fmt.Fprintf(w, "idle share: %.2f%% of traced processor time\n", 100*idle/busy)
+	}
+	if tot.retransmit > 0 {
+		fmt.Fprintf(w, "retransmissions: %d\n", tot.retransmit)
+	}
+	if len(allUnits) > 0 {
+		fmt.Fprintf(w, "work units: %d  p50=%.3fs p95=%.3fs p99=%.3fs max=%.3fs\n",
+			len(allUnits), stats.P50(allUnits), stats.P95(allUnits), stats.P99(allUnits), stats.Max(allUnits))
+	}
+	if len(hops) > 0 {
+		fmt.Fprintf(w, "forwarding chains: %d  mean=%.2f p95=%.0f max=%.0f hops\n",
+			len(hops), stats.Mean(hops), stats.P95(hops), stats.Max(hops))
+	}
+}

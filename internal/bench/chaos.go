@@ -8,6 +8,7 @@ import (
 	"prema/internal/rtm"
 	"prema/internal/sim"
 	"prema/internal/substrate"
+	"prema/internal/trace"
 )
 
 // ChaosSpec configures one chaos run: a named PREMA system configuration on
@@ -32,6 +33,9 @@ type ChaosSpec struct {
 	// backend default.
 	TimeScale float64
 	Spin      bool
+	// Trace, when non-nil, attaches the event tracing decorator outermost
+	// (outside the fault injector) and records the run into this collector.
+	Trace *trace.Collector
 }
 
 // RunChaos executes the paper microbenchmark under a chaos spec and returns
@@ -62,6 +66,11 @@ func RunChaos(w Workload, cs ChaosSpec) (*Result, faulty.Stats, error) {
 	if cs.Plan.Active() {
 		fm = faulty.Wrap(m, cs.Plan, cs.FaultSeed)
 		m = fm
+	}
+	if cs.Trace != nil {
+		// Outermost, so the stream records what the stack observed — after
+		// the injector has dropped, duplicated, or delayed the traffic.
+		m = trace.Wrap(m, cs.Trace)
 	}
 	res, err := RunPremaOn(m, w, cfg)
 	if err != nil {

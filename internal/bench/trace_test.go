@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"prema/internal/dmcs"
+	"prema/internal/faulty"
+	"prema/internal/trace"
+)
+
+// TestTracingIsObservational: attaching the trace decorator must not perturb
+// the simulation — same makespan, same per-processor accounts, same counters
+// as the untraced run. This is what lets the subsystem claim 0% virtual
+// overhead (the repository's analogue of the paper's <1% claim) and keeps
+// the determinism goldens valid with tracing on or off.
+func TestTracingIsObservational(t *testing.T) {
+	w := PaperWorkload(FigureSpec{ID: 3, Imbalance: 0.5, Ratio: 2.0}, 8, 8)
+	for _, sys := range []string{"none", "prema-explicit", "prema-implicit"} {
+		sys := sys
+		t.Run(sys, func(t *testing.T) {
+			plain, err := RunSystem(sys, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := trace.NewCollector(0)
+			traced, err := RunSystemTraced(sys, w, col)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.Makespan != traced.Makespan {
+				t.Fatalf("tracing changed the makespan: %v vs %v", plain.Makespan, traced.Makespan)
+			}
+			for i := range plain.Accounts {
+				if plain.Accounts[i] != traced.Accounts[i] {
+					t.Fatalf("tracing changed proc %d accounts:\n%v\n%v", i, plain.Accounts[i], traced.Accounts[i])
+				}
+			}
+			for k, v := range plain.Counters {
+				if traced.Counters[k] != v {
+					t.Fatalf("tracing changed counter %s: %d vs %d", k, v, traced.Counters[k])
+				}
+			}
+			if col.Total() == 0 {
+				t.Fatal("traced run recorded no events")
+			}
+		})
+	}
+}
+
+// TestTraceByteIdentity: two same-seed simulator runs must export
+// byte-identical Chrome traces (the guarantee CI's cmp step checks).
+func TestTraceByteIdentity(t *testing.T) {
+	w := PaperWorkload(FigureSpec{ID: 4, Imbalance: 0.1, Ratio: 2.0}, 6, 6)
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		col := trace.NewCollector(0)
+		if _, err := RunSystemTraced("prema-implicit", w, col); err != nil {
+			t.Fatal(err)
+		}
+		if err := col.WriteChrome(&bufs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatalf("same-seed traces differ (%d vs %d bytes)", bufs[0].Len(), bufs[1].Len())
+	}
+}
+
+// TestTraceRingOverflowInRun: a deliberately tiny ring must overflow on a
+// real run and surface the drop count through the metrics registry.
+func TestTraceRingOverflowInRun(t *testing.T) {
+	w := PaperWorkload(FigureSpec{ID: 3, Imbalance: 0.5, Ratio: 2.0}, 4, 8)
+	col := trace.NewCollector(32)
+	res, err := RunSystemTraced("prema-implicit", w, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Dropped() == 0 {
+		t.Fatal("32-event rings did not overflow on a full run")
+	}
+	reg := trace.Summarize(col, res.Makespan)
+	if reg.Counters["trace_dropped_total"] != int64(col.Dropped()) {
+		t.Fatalf("metrics drop counter %d != collector %d", reg.Counters["trace_dropped_total"], col.Dropped())
+	}
+	if reg.Counters["trace_events_total"] != int64(col.Total()) {
+		t.Fatalf("metrics event total %d != collector %d", reg.Counters["trace_events_total"], col.Total())
+	}
+}
+
+// TestTracedSystemRejectsBaselines: the cost models have no transport to
+// observe; asking for a trace of one is a user error, not a silent no-op.
+func TestTracedSystemRejectsBaselines(t *testing.T) {
+	w := PaperWorkload(FigureSpec{ID: 3, Imbalance: 0.5, Ratio: 2.0}, 4, 4)
+	for _, sys := range []string{"parmetis", "charm", "charm-sync4"} {
+		if TracedSystem(sys) {
+			t.Errorf("TracedSystem(%q) = true", sys)
+		}
+		if _, err := RunSystemTraced(sys, w, trace.NewCollector(0)); err == nil {
+			t.Errorf("RunSystemTraced(%q) did not error", sys)
+		}
+	}
+	for _, sys := range []string{"none", "prema-explicit", "prema-implicit", "prema-diffusion"} {
+		if !TracedSystem(sys) {
+			t.Errorf("TracedSystem(%q) = false", sys)
+		}
+	}
+}
+
+// TestChaosTraceRecordsRetransmits: tracing composed outside the fault
+// injector must observe the reliable protocol at work — retransmit events in
+// the stream on a lossy network, while the run still conserves all units.
+func TestChaosTraceRecordsRetransmits(t *testing.T) {
+	w := PaperWorkload(FigureSpec{ID: 3, Imbalance: 0.5, Ratio: 2.0}, 4, 4)
+	plan, err := faulty.ParsePlan("drop=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := trace.NewCollector(0)
+	res, _, err := RunChaos(w, ChaosSpec{
+		System:    "prema-implicit",
+		Plan:      plan,
+		FaultSeed: 1,
+		Rel:       dmcs.DefaultRelConfig(),
+		Trace:     col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	reg := trace.Summarize(col, res.Makespan)
+	if reg.Counters["ev_retransmit_total"] == 0 {
+		t.Fatal("no retransmit events traced on a lossy (20% drop) network")
+	}
+	if int(reg.Counters["ev_retransmit_total"]) != res.Counters["rel_retransmits"] {
+		t.Fatalf("traced retransmits %d != protocol counter %d",
+			reg.Counters["ev_retransmit_total"], res.Counters["rel_retransmits"])
+	}
+}

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"prema/internal/trace"
+)
+
+// TracedSystem reports whether a named system configuration can record an
+// event trace: the PREMA stacks run a real transport through the substrate
+// seam where internal/trace hooks in, while the third-party baseline models
+// (parmetis, charm*) are simulator cost models with nothing to observe.
+func TracedSystem(name string) bool {
+	return name == "none" || strings.HasPrefix(name, "prema")
+}
+
+// RunSystemTraced executes one named PREMA system configuration on the
+// deterministic simulator with event tracing attached, recording into col.
+// Tracing is observational (no substrate time is charged), so the result is
+// identical to the untraced RunSystem output for the same workload.
+func RunSystemTraced(name string, w Workload, col *trace.Collector) (*Result, error) {
+	if !TracedSystem(name) {
+		return nil, fmt.Errorf("bench: system %q is a cost model without a transport; tracing needs a PREMA configuration", name)
+	}
+	m := trace.Wrap(w.machine(), col)
+	switch name {
+	case "prema-diffusion", "prema-multilist", "prema-worksteal":
+		return RunPremaPolicyOn(m, w, strings.TrimPrefix(name, "prema-"))
+	default:
+		return RunSystemOn(name, m, w)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"prema/internal/ilb"
 	"prema/internal/mol"
 	"prema/internal/substrate"
+	"prema/internal/trace"
 )
 
 // Options configures a per-processor PREMA runtime instance.
@@ -53,10 +54,11 @@ func DefaultOptions(mode ilb.Mode) Options {
 
 // Runtime is one processor's PREMA endpoint.
 type Runtime struct {
-	p substrate.Endpoint
-	c *dmcs.Comm
-	l *mol.Layer
-	s *ilb.Scheduler
+	p  substrate.Endpoint
+	c  *dmcs.Comm
+	l  *mol.Layer
+	s  *ilb.Scheduler
+	tr *trace.Recorder
 
 	hStop    dmcs.HandlerID
 	stopSent bool
@@ -75,7 +77,7 @@ func NewRuntime(p substrate.Endpoint, opt Options) *Runtime {
 		pol = ilb.NopPolicy{}
 	}
 	s := ilb.New(l, opt.LB, pol)
-	r := &Runtime{p: p, c: c, l: l, s: s}
+	r := &Runtime{p: p, c: c, l: l, s: s, tr: trace.Of(p)}
 	r.hStop = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
 		s.Stop()
 	})
@@ -160,6 +162,7 @@ func (r *Runtime) StopAll() {
 	if !r.stopSent {
 		r.stopSent = true
 		n := r.p.NumPeers()
+		r.tr.Instant(trace.EvStop, r.p.Now(), int64(n-1), 0, 0)
 		for i := 0; i < n; i++ {
 			if i == r.p.ID() {
 				continue

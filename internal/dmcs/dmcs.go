@@ -14,7 +14,10 @@
 // real-concurrency goroutine machine (internal/rtm).
 package dmcs
 
-import "prema/internal/substrate"
+import (
+	"prema/internal/substrate"
+	"prema/internal/trace"
+)
 
 // HandlerID names a registered active-message handler.
 type HandlerID int
@@ -35,11 +38,14 @@ type Comm struct {
 	// exactly-once delivery with acks and poll-driven retransmission,
 	// built for lossy transports such as internal/faulty.
 	rel *reliable
+	// tr is the trace recorder behind p (nil when the run is untraced; the
+	// nil recorder's methods are no-ops).
+	tr *trace.Recorder
 }
 
 // New wraps a substrate endpoint in a DMCS endpoint.
 func New(p substrate.Endpoint) *Comm {
-	return &Comm{p: p, DispatchCPU: 2 * substrate.Microsecond}
+	return &Comm{p: p, DispatchCPU: 2 * substrate.Microsecond, tr: trace.Of(p)}
 }
 
 // Proc returns the underlying substrate endpoint.

@@ -2,6 +2,7 @@ package dmcs
 
 import (
 	"prema/internal/substrate"
+	"prema/internal/trace"
 )
 
 // This file implements DMCS's reliable-delivery mode: an ARQ protocol that
@@ -363,6 +364,7 @@ func (c *Comm) tick() {
 		}
 		for _, pm := range burst {
 			r.stats.Retransmits++
+			c.tr.Instant(trace.EvRetransmit, now, int64(k.peer), int64(k.tag), int64(pm.seq))
 			c.p.Send(&substrate.Msg{
 				Dst:  k.peer,
 				Kind: pm.kind,

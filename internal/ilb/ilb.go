@@ -20,6 +20,7 @@ import (
 	"prema/internal/dmcs"
 	"prema/internal/mol"
 	"prema/internal/substrate"
+	"prema/internal/trace"
 )
 
 // Mode selects how load balancer messages get processed.
@@ -145,6 +146,7 @@ type Scheduler struct {
 	p      substrate.Endpoint
 	cfg    Config
 	policy Policy
+	tr     *trace.Recorder
 
 	queue     []*Unit
 	qhead     int
@@ -159,7 +161,7 @@ type Scheduler struct {
 // New builds a scheduler over a MOL endpoint and wires the MOL delivery sink
 // and migration hooks to the scheduler's queue.
 func New(l *mol.Layer, cfg Config, policy Policy) *Scheduler {
-	s := &Scheduler{l: l, c: l.Comm(), p: l.Proc(), cfg: cfg, policy: policy}
+	s := &Scheduler{l: l, c: l.Comm(), p: l.Proc(), cfg: cfg, policy: policy, tr: trace.Of(l.Proc())}
 	l.SetDeliver(func(_ *mol.Layer, obj *mol.Object, env *mol.Envelope) {
 		s.enqueue(&Unit{Obj: obj, Env: env})
 	})
@@ -336,10 +338,12 @@ func (s *Scheduler) checkLoad() {
 	switch s.cfg.Mode {
 	case Explicit:
 		if s.Load() < s.cfg.WaterMark {
+			s.tr.Instant(trace.EvPolicy, s.p.Now(), trace.PolLowLoad, 0, 0)
 			s.policy.OnLowLoad(s)
 		}
 	case Implicit:
 		if s.QueueLen() == 0 {
+			s.tr.Instant(trace.EvPolicy, s.p.Now(), trace.PolLowLoad, 0, 0)
 			s.policy.OnLowLoad(s)
 		}
 	}
@@ -374,6 +378,7 @@ func (s *Scheduler) Compute(d substrate.Time) {
 // PollInterval.
 func (s *Scheduler) pollThread() {
 	s.Stats.PollWakes++
+	s.tr.Instant(trace.EvPolicy, s.p.Now(), trace.PolPollWake, 0, 0)
 	if s.cfg.PollCost > 0 {
 		s.p.Advance(s.cfg.PollCost, substrate.CatPollThread)
 	}
@@ -387,7 +392,11 @@ func (s *Scheduler) execute(u *Unit) {
 	}
 	s.current = u
 	s.Stats.UnitsRun++
+	key := trace.ObjKey(u.Obj.MP.Home, u.Obj.MP.Index)
+	t0 := s.p.Now()
+	s.tr.Instant(trace.EvUnitBegin, t0, key, int64(u.Env.Origin), int64(u.Env.Seq))
 	s.l.Dispatch(u.Obj, u.Env)
+	s.tr.Interval(trace.EvUnitEnd, t0, s.p.Now(), key, int64(u.Env.Origin), int64(u.Env.Seq))
 	s.current = nil
 }
 
@@ -414,6 +423,7 @@ func (s *Scheduler) Step() bool {
 		// moment the processor begins its LAST queued unit (paper §4.2), so
 		// replacement work can arrive while that unit still computes.
 		if s.cfg.Mode == Implicit && s.QueueLen() == 0 {
+			s.tr.Instant(trace.EvPolicy, s.p.Now(), trace.PolLowLoad, 0, 0)
 			s.policy.OnLowLoad(s)
 		}
 		s.execute(u)
@@ -421,6 +431,7 @@ func (s *Scheduler) Step() bool {
 		s.checkLoad()
 		return true
 	}
+	s.tr.Instant(trace.EvPolicy, s.p.Now(), trace.PolIdle, 0, 0)
 	s.policy.OnIdle(s)
 	if s.stopped {
 		return false

@@ -18,6 +18,7 @@ import (
 
 	"prema/internal/dmcs"
 	"prema/internal/substrate"
+	"prema/internal/trace"
 )
 
 // MobilePtr is a location-independent name for a mobile object: the
@@ -140,6 +141,7 @@ func DefaultConfig() Config {
 type Layer struct {
 	c   *dmcs.Comm
 	cfg Config
+	tr  *trace.Recorder
 
 	objects   map[MobilePtr]*Object
 	lastKnown map[MobilePtr]int // best-guess location for non-local objects
@@ -188,6 +190,7 @@ func New(c *dmcs.Comm, cfg Config) *Layer {
 	l := &Layer{
 		c:         c,
 		cfg:       cfg,
+		tr:        trace.Of(c.Proc()),
 		objects:   make(map[MobilePtr]*Object),
 		lastKnown: make(map[MobilePtr]int),
 		nextSeq:   make(map[MobilePtr]uint64),
@@ -372,6 +375,7 @@ func (l *Layer) forward(env *Envelope) {
 		// Stale self-reference: fall back to the home directory.
 		next = env.MP.Home
 	}
+	l.tr.Instant(trace.EvForward, l.Proc().Now(), int64(next), int64(env.Hops), int64(env.Size))
 	l.c.SendTagged(next, l.hEnvelope, env, env.Size+envelopeHeader, env.Tag)
 	if l.cfg.NotifyOrigin && env.Origin != l.Proc().ID() && next != env.Origin {
 		l.Stats.LocationNotify++
@@ -399,6 +403,7 @@ func (l *Layer) Migrate(mp MobilePtr, dst int) error {
 		extra = l.OnMigrateOut(obj)
 	}
 	size := obj.Size + l.cfg.MigrateFixed + 16*len(obj.hold)
+	l.tr.Instant(trace.EvMigrateOut, l.Proc().Now(), int64(dst), trace.ObjKey(mp.Home, mp.Index), int64(size))
 	l.c.SendTagged(dst, l.hMigrate, &migration{obj: obj, extra: extra}, size, substrate.TagSystem)
 	return nil
 }
@@ -414,6 +419,7 @@ func (l *Layer) migrateIn(src int, m *migration) {
 		return
 	}
 	l.Stats.MigrationsIn++
+	l.tr.Instant(trace.EvMigrateIn, l.Proc().Now(), int64(src), trace.ObjKey(obj.MP.Home, obj.MP.Index), int64(obj.Size))
 	l.install(obj)
 	if l.OnMigrateIn != nil {
 		l.OnMigrateIn(obj, m.extra)

@@ -1,0 +1,193 @@
+package rtm_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"prema/internal/core"
+	"prema/internal/dmcs"
+	"prema/internal/ilb"
+	"prema/internal/mol"
+	"prema/internal/rtm"
+	"prema/internal/sim"
+	"prema/internal/substrate"
+	"prema/internal/trace"
+)
+
+// unitEv is the logical identity of one executed work unit: which object,
+// which sending processor, and that sender's per-object sequence number.
+type unitEv struct {
+	obj    int64
+	origin int64
+	seq    int64
+}
+
+// traceSummary is the backend-independent view of one processor's trace: the
+// counts of every timing-independent event kind, plus the executed units in
+// dispatch order. Spans, receives, and policy decisions are deliberately
+// excluded — their counts depend on wait timing, which differs by design
+// between the simulator and the real-concurrency machine.
+type traceSummary struct {
+	counts map[trace.Kind]int
+	units  []unitEv
+}
+
+// runTracedConformance executes a program-driven workload (adapted from
+// runConformance: no balancing policy, migrations decided before any work
+// message) with the tracing decorator attached, and returns the per-processor
+// trace summaries. Each processor sends msgsPer messages to every object, so
+// per-(object, origin) sequence numbers exercise the in-order guarantee.
+func runTracedConformance(t *testing.T, m substrate.Machine, procs, objects, msgsPer int) []traceSummary {
+	t.Helper()
+	col := trace.NewCollector(0)
+	tm := trace.Wrap(m, col)
+	for p := 0; p < procs; p++ {
+		tm.Spawn(fmt.Sprintf("p%d", p), func(ep substrate.Endpoint) {
+			opts := core.DefaultOptions(ilb.Explicit)
+			opts.Mol.NotifyOrigin = false
+			r := core.NewRuntime(ep, opts)
+			self := ep.ID()
+
+			done := 0
+			var hDone dmcs.HandlerID
+			hDone = r.Comm().Register(func(c *dmcs.Comm, src int, data any, size int) {
+				done++
+				if done == objects {
+					r.StopAll()
+				}
+			})
+			var hWork mol.HandlerID
+			hWork = r.RegisterHandler(func(l *mol.Layer, obj *mol.Object, src int, data any, size int) {
+				n := obj.Data.(*int)
+				*n++
+				r.Compute(substrate.Millisecond)
+				if *n == procs*msgsPer {
+					r.Comm().SendTagged(0, hDone, nil, 8, substrate.TagApp)
+				}
+			})
+			sendAll := func() {
+				for k := 0; k < msgsPer; k++ {
+					for i := 0; i < objects; i++ {
+						r.Message(mol.MobilePtr{Home: 0, Index: i}, hWork, nil, 8, 0.001)
+					}
+				}
+			}
+			hReady := r.Comm().Register(func(c *dmcs.Comm, src int, data any, size int) {
+				sendAll()
+			})
+
+			if self == 0 {
+				for i := 0; i < objects; i++ {
+					n := 0
+					r.Register(&n, 128)
+				}
+				for i := 0; i < objects; i++ {
+					if dst := i % procs; dst != 0 {
+						if err := r.Mol().Migrate(mol.MobilePtr{Home: 0, Index: i}, dst); err != nil {
+							t.Error(err)
+						}
+					}
+				}
+				for q := 1; q < procs; q++ {
+					r.Comm().SendTagged(q, hReady, nil, 8, substrate.TagApp)
+				}
+				sendAll()
+			}
+			r.Run()
+		})
+	}
+	if err := tm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Dropped() != 0 {
+		t.Fatalf("trace ring overflowed (%d dropped); grow the ring for this test", col.Dropped())
+	}
+
+	sums := make([]traceSummary, procs)
+	for p := 0; p < procs; p++ {
+		s := traceSummary{counts: map[trace.Kind]int{}}
+		for _, e := range col.Recorder(p).Events() {
+			switch e.Kind {
+			case trace.EvSend, trace.EvForward, trace.EvMigrateOut, trace.EvMigrateIn,
+				trace.EvUnitBegin, trace.EvUnitEnd, trace.EvRetransmit, trace.EvStop:
+				s.counts[e.Kind]++
+			}
+			if e.Kind == trace.EvUnitBegin {
+				s.units = append(s.units, unitEv{obj: e.A, origin: e.B, seq: e.C})
+			}
+		}
+		sums[p] = s
+	}
+	return sums
+}
+
+// sortedUnits returns a canonically ordered copy for multiset comparison.
+func sortedUnits(us []unitEv) []unitEv {
+	out := append([]unitEv(nil), us...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].obj != out[j].obj {
+			return out[i].obj < out[j].obj
+		}
+		if out[i].origin != out[j].origin {
+			return out[i].origin < out[j].origin
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+// TestCrossBackendTraceConformance: both backends must emit the same logical
+// event stream for a program-driven workload — identical per-processor counts
+// of sends, forwards, migrations, and work units, and identical unit dispatch
+// identity with per-(object, origin) sequence numbers delivered in order.
+// Only timestamps (virtual vs wall clock) and wait-dependent events may
+// differ.
+func TestCrossBackendTraceConformance(t *testing.T) {
+	const procs, objects, msgsPer = 4, 8, 3
+	simSums := runTracedConformance(t, sim.NewMachine(sim.Config{Seed: 11}), procs, objects, msgsPer)
+	cfg := rtm.DefaultConfig()
+	cfg.Seed = 11
+	rtmSums := runTracedConformance(t, rtm.New(cfg), procs, objects, msgsPer)
+
+	for p := 0; p < procs; p++ {
+		if !reflect.DeepEqual(simSums[p].counts, rtmSums[p].counts) {
+			t.Errorf("proc %d event counts diverge:\n sim: %v\n rtm: %v", p, simSums[p].counts, rtmSums[p].counts)
+		}
+		// The set of units each processor dispatched must agree exactly;
+		// the interleaving across different origins is timing-dependent (the
+		// per-origin order is asserted below, on both backends).
+		if a, b := sortedUnits(simSums[p].units), sortedUnits(rtmSums[p].units); !reflect.DeepEqual(a, b) {
+			t.Errorf("proc %d dispatched different units:\n sim: %v\n rtm: %v", p, a, b)
+		}
+	}
+
+	// The streams must also be self-consistent on both backends.
+	for name, sums := range map[string][]traceSummary{"sim": simSums, "rtm": rtmSums} {
+		units, migIn, migOut := 0, 0, 0
+		for p, s := range sums {
+			units += s.counts[trace.EvUnitBegin]
+			migIn += s.counts[trace.EvMigrateIn]
+			migOut += s.counts[trace.EvMigrateOut]
+			if s.counts[trace.EvUnitBegin] != s.counts[trace.EvUnitEnd] {
+				t.Errorf("%s proc %d: %d unit begins but %d ends", name, p, s.counts[trace.EvUnitBegin], s.counts[trace.EvUnitEnd])
+			}
+			// Per (object, origin), sequence numbers must arrive in order.
+			last := map[[2]int64]int64{}
+			for _, u := range s.units {
+				k := [2]int64{u.obj, u.origin}
+				if prev, seen := last[k]; seen && u.seq <= prev {
+					t.Errorf("%s proc %d: object %d origin %d ran seq %d after %d", name, p, u.obj, u.origin, u.seq, prev)
+				}
+				last[k] = u.seq
+			}
+		}
+		if want := procs * objects * msgsPer; units != want {
+			t.Errorf("%s: %d units executed, want %d", name, units, want)
+		}
+		if migOut != migIn {
+			t.Errorf("%s: %d migrate-outs but %d migrate-ins", name, migOut, migIn)
+		}
+	}
+}

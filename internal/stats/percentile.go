@@ -1,0 +1,46 @@
+package stats
+
+import "sort"
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks (the same estimator as numpy's default
+// and Go's common monitoring libraries): for n samples the p-th percentile
+// sits at fractional rank h = p/100 * (n-1) in the sorted order, and values
+// between adjacent ranks are interpolated linearly.
+//
+// The input is not modified (a copy is sorted). Empty input returns 0;
+// out-of-range p is clamped.
+func Percentile(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return xs[0]
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	h := p / 100 * float64(n-1)
+	lo := int(h)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// P50 returns the median of xs.
+func P50(xs []float64) float64 { return Percentile(xs, 50) }
+
+// P95 returns the 95th percentile of xs.
+func P95(xs []float64) float64 { return Percentile(xs, 95) }
+
+// P99 returns the 99th percentile of xs.
+func P99(xs []float64) float64 { return Percentile(xs, 99) }

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refPercentile is an independent sort-based reference for the
+// linear-interpolation-between-closest-ranks estimator: walk the sorted
+// sample and blend the two values straddling the fractional rank.
+func refPercentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	p = math.Min(100, math.Max(0, p))
+	h := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(h))
+	hi := int(math.Ceil(h))
+	if hi >= len(sorted) {
+		hi = len(sorted) - 1
+	}
+	return sorted[lo]*(float64(hi)-h) + sorted[hi]*(1-(float64(hi)-h))
+	// note: when lo == hi the two weights sum to 1 and the value is exact
+}
+
+func TestPercentileAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		for _, p := range []float64{0, 1, 10, 25, 50, 75, 90, 95, 99, 100, rng.Float64() * 100} {
+			got := Percentile(xs, p)
+			want := refPercentile(xs, p)
+			if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Fatalf("trial %d: Percentile(n=%d, p=%g) = %g, reference %g", trial, n, p, got, want)
+			}
+		}
+	}
+}
+
+func TestPercentileProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 1000
+		}
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			min = math.Min(min, x)
+			max = math.Max(max, x)
+		}
+		// Bounds, endpoints, and monotonicity in p.
+		if got := Percentile(xs, 0); got != min {
+			t.Fatalf("P0 = %g, want min %g", got, min)
+		}
+		if got := Percentile(xs, 100); got != max {
+			t.Fatalf("P100 = %g, want max %g", got, max)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 2.5 {
+			v := Percentile(xs, p)
+			if v < min || v > max {
+				t.Fatalf("Percentile(%g) = %g outside [%g, %g]", p, v, min, max)
+			}
+			if v < prev {
+				t.Fatalf("Percentile not monotone: P%g = %g < %g", p, v, prev)
+			}
+			prev = v
+		}
+		// Permutation invariance and input preservation.
+		shuffled := append([]float64(nil), xs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		before := append([]float64(nil), shuffled...)
+		if a, b := Percentile(xs, 73), Percentile(shuffled, 73); a != b {
+			t.Fatalf("permutation changed P73: %g vs %g", a, b)
+		}
+		for i := range shuffled {
+			if shuffled[i] != before[i] {
+				t.Fatal("Percentile modified its input")
+			}
+		}
+	}
+}
+
+func TestPercentileExactRanks(t *testing.T) {
+	// For 0..n-1 the p-th percentile at integer ranks is the rank itself.
+	xs := []float64{4, 2, 0, 3, 1}
+	for k := 0; k < 5; k++ {
+		p := 100 * float64(k) / 4
+		if got := Percentile(xs, p); got != float64(k) {
+			t.Errorf("Percentile(%g) = %g, want %d", p, got, k)
+		}
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty input: got %g, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single element: got %g, want 7", got)
+	}
+	xs := []float64{1, 2, 3}
+	if got := Percentile(xs, -5); got != 1 {
+		t.Errorf("p<0 clamps to min: got %g", got)
+	}
+	if got := Percentile(xs, 150); got != 3 {
+		t.Errorf("p>100 clamps to max: got %g", got)
+	}
+	if P50(xs) != 2 || P95(xs) != Percentile(xs, 95) || P99(xs) != Percentile(xs, 99) {
+		t.Error("P50/P95/P99 wrappers disagree with Percentile")
+	}
+}

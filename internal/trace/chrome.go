@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"prema/internal/substrate"
+)
+
+// This file renders a Collector as Chrome trace_event JSON — the format
+// Perfetto (https://ui.perfetto.dev) and chrome://tracing load directly.
+// Every processor becomes a thread (tid) of one process: category spans are
+// complete ("X") events, so the per-processor compute/idle/messaging phase
+// structure reads as a timeline; work units are nested "X" events named
+// "unit"; messages, forwards, policy decisions and retransmissions are
+// instant ("i") events; migrations additionally emit flow ("s"/"f") pairs so
+// the viewer draws an arrow from the object's old host to its new one.
+//
+// Output is written with deterministic formatting: same-seed simulator runs
+// produce byte-identical trace files (guarded by CI's cmp step).
+
+// chromeTS renders a substrate time (ns) as Chrome's microsecond timestamps
+// with nanosecond resolution preserved.
+func chromeTS(t substrate.Time) string {
+	micros := t / 1000
+	frac := t % 1000
+	if frac == 0 {
+		return fmt.Sprintf("%d", micros)
+	}
+	return fmt.Sprintf("%d.%03d", micros, frac)
+}
+
+// flowKey pairs migrate-out with migrate-in events per object in time order.
+type flowEvent struct {
+	proc int
+	t    substrate.Time
+	key  int64
+	out  bool
+}
+
+// WriteChrome writes the whole trace as Chrome trace_event JSON.
+func (c *Collector) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	// Thread metadata: one named row per processor, sorted by tid.
+	for i, r := range c.recs {
+		emit(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"p%03d"}}`, i, r.proc)
+	}
+
+	var flows []flowEvent
+	for i, r := range c.recs {
+		for _, e := range r.Events() {
+			switch e.Kind {
+			case EvSpan:
+				emit(`{"name":%q,"cat":"phase","ph":"X","ts":%s,"dur":%s,"pid":0,"tid":%d}`,
+					substrate.Category(e.A).String(), chromeTS(e.T-e.Dur), chromeTS(e.Dur), i)
+			case EvUnitEnd:
+				emit(`{"name":"unit","cat":"unit","ph":"X","ts":%s,"dur":%s,"pid":0,"tid":%d,"args":{"obj":"%d:%d","origin":%d,"seq":%d}}`,
+					chromeTS(e.T-e.Dur), chromeTS(e.Dur), i, KeyHome(e.A), KeyIndex(e.A), e.B, e.C)
+			case EvUnitBegin:
+				// The matching EvUnitEnd carries the interval; the begin
+				// instant is redundant in the timeline view.
+			case EvSend:
+				emit(`{"name":"send","cat":"msg","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"dst":%d,"tag":%d,"bytes":%d}}`,
+					chromeTS(e.T), i, e.A, e.B, e.C)
+			case EvRecv:
+				emit(`{"name":"recv","cat":"msg","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"src":%d,"tag":%d,"bytes":%d}}`,
+					chromeTS(e.T), i, e.A, e.B, e.C)
+			case EvForward:
+				emit(`{"name":"forward","cat":"mol","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"next":%d,"hops":%d,"bytes":%d}}`,
+					chromeTS(e.T), i, e.A, e.B, e.C)
+			case EvMigrateOut:
+				emit(`{"name":"migrate-out","cat":"mol","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"to":%d,"obj":"%d:%d","bytes":%d}}`,
+					chromeTS(e.T), i, e.A, KeyHome(e.B), KeyIndex(e.B), e.C)
+				flows = append(flows, flowEvent{proc: i, t: e.T, key: e.B, out: true})
+			case EvMigrateIn:
+				emit(`{"name":"migrate-in","cat":"mol","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"from":%d,"obj":"%d:%d","bytes":%d}}`,
+					chromeTS(e.T), i, e.A, KeyHome(e.B), KeyIndex(e.B), e.C)
+				flows = append(flows, flowEvent{proc: i, t: e.T, key: e.B, out: false})
+			case EvPolicy:
+				emit(`{"name":"policy","cat":"ilb","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"decision":%q}}`,
+					chromeTS(e.T), i, PolicyName(e.A))
+			case EvRetransmit:
+				emit(`{"name":"retransmit","cat":"rel","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"peer":%d,"tag":%d,"seq":%d}}`,
+					chromeTS(e.T), i, e.A, e.B, e.C)
+			case EvStop:
+				emit(`{"name":"stop-broadcast","cat":"app","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"peers":%d}}`,
+					chromeTS(e.T), i, e.A)
+			}
+		}
+	}
+
+	// Migration arrows: pair the k-th out with the k-th in per object key,
+	// in time order (objects migrate sequentially, so this pairing is exact
+	// on the simulator and a faithful best effort under real clocks).
+	sort.SliceStable(flows, func(a, b int) bool {
+		if flows[a].t != flows[b].t {
+			return flows[a].t < flows[b].t
+		}
+		return flows[a].proc < flows[b].proc
+	})
+	pendingOut := make(map[int64][]flowEvent)
+	id := 0
+	for _, f := range flows {
+		if f.out {
+			pendingOut[f.key] = append(pendingOut[f.key], f)
+			continue
+		}
+		outs := pendingOut[f.key]
+		if len(outs) == 0 {
+			continue // in without a retained out (ring overflow)
+		}
+		o := outs[0]
+		pendingOut[f.key] = outs[1:]
+		id++
+		emit(`{"name":"migration","cat":"mol","ph":"s","id":%d,"ts":%s,"pid":0,"tid":%d}`,
+			id, chromeTS(o.t), o.proc)
+		emit(`{"name":"migration","cat":"mol","ph":"f","bp":"e","id":%d,"ts":%s,"pid":0,"tid":%d}`,
+			id, chromeTS(f.t), f.proc)
+	}
+
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChromeFile writes the Chrome trace to path.
+func (c *Collector) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"math/rand"
+
+	"prema/internal/substrate"
+)
+
+// Machine decorates an inner substrate.Machine so every endpoint handed to a
+// processor body records trace events. Wrap it outermost (outside
+// internal/faulty, if both are in play) so the stream reflects what the
+// application actually observed.
+//
+// Tracing is observational: no substrate time is charged for recording, so a
+// traced simulator run has byte-identical makespan and accounts to the
+// untraced run (guarded by a test in internal/bench).
+type Machine struct {
+	inner substrate.Machine
+	col   *Collector
+}
+
+// Wrap returns a tracing view of m recording into col.
+func Wrap(m substrate.Machine, col *Collector) *Machine {
+	return &Machine{inner: m, col: col}
+}
+
+var _ substrate.Machine = (*Machine)(nil)
+
+// Spawn implements substrate.Machine; the body runs against a tracing
+// endpoint.
+func (t *Machine) Spawn(name string, body func(substrate.Endpoint)) {
+	rec := t.col.attach(len(t.col.recs))
+	t.inner.Spawn(name, func(ep substrate.Endpoint) {
+		body(&Endpoint{inner: ep, rec: rec})
+	})
+}
+
+// Run implements substrate.Machine.
+func (t *Machine) Run() error { return t.inner.Run() }
+
+// Stop implements substrate.Machine.
+func (t *Machine) Stop() { t.inner.Stop() }
+
+// NumProcs implements substrate.Machine.
+func (t *Machine) NumProcs() int { return t.inner.NumProcs() }
+
+// Now implements substrate.Machine.
+func (t *Machine) Now() substrate.Time { return t.inner.Now() }
+
+// Makespan implements substrate.Machine.
+func (t *Machine) Makespan() substrate.Time { return t.inner.Makespan() }
+
+// Account implements substrate.Machine.
+func (t *Machine) Account(i int) *substrate.Account { return t.inner.Account(i) }
+
+// Collector returns the collector recording this machine's events.
+func (t *Machine) Collector() *Collector { return t.col }
+
+// Endpoint decorates one processor's substrate.Endpoint: every operation
+// that consumes time records a category span, and message movement records
+// send/recv instants. Layer-level events (forwards, migrations, work units,
+// policy decisions) are recorded by the layers themselves through Of.
+type Endpoint struct {
+	inner substrate.Endpoint
+	rec   *Recorder
+}
+
+var _ substrate.Endpoint = (*Endpoint)(nil)
+var _ hasRecorder = (*Endpoint)(nil)
+
+// TraceRecorder exposes the recorder to Of.
+func (e *Endpoint) TraceRecorder() *Recorder { return e.rec }
+
+// Inner returns the wrapped endpoint (for tests and backend-specific use).
+func (e *Endpoint) Inner() substrate.Endpoint { return e.inner }
+
+// ID implements substrate.Endpoint.
+func (e *Endpoint) ID() int { return e.inner.ID() }
+
+// Name implements substrate.Endpoint.
+func (e *Endpoint) Name() string { return e.inner.Name() }
+
+// NumPeers implements substrate.Endpoint.
+func (e *Endpoint) NumPeers() int { return e.inner.NumPeers() }
+
+// Now implements substrate.Clock.
+func (e *Endpoint) Now() substrate.Time { return e.inner.Now() }
+
+// Rand implements substrate.Endpoint.
+func (e *Endpoint) Rand() *rand.Rand { return e.inner.Rand() }
+
+// Account implements substrate.Endpoint.
+func (e *Endpoint) Account() *substrate.Account { return e.inner.Account() }
+
+// Charge implements substrate.Endpoint. Charged (re-attributed) time has no
+// interval of its own, so no span is recorded.
+func (e *Endpoint) Charge(cat substrate.Category, d substrate.Time) { e.inner.Charge(cat, d) }
+
+// Advance implements substrate.Endpoint, recording the consumed interval as
+// a category span.
+func (e *Endpoint) Advance(d substrate.Time, cat substrate.Category) {
+	t0 := e.inner.Now()
+	e.inner.Advance(d, cat)
+	e.rec.Span(cat, t0, e.inner.Now())
+}
+
+// Send implements substrate.Endpoint, recording the send CPU span and an
+// EvSend instant. The message fields are captured before the inner send: on
+// the real-concurrency backend the channel handoff transfers ownership.
+func (e *Endpoint) Send(m *substrate.Msg, cat substrate.Category) {
+	dst, tag, size := m.Dst, m.Tag, m.Size
+	t0 := e.inner.Now()
+	e.inner.Send(m, cat)
+	t1 := e.inner.Now()
+	e.rec.Span(cat, t0, t1)
+	e.rec.Instant(EvSend, t1, int64(dst), int64(tag), int64(size))
+}
+
+// InboxLen implements substrate.Endpoint.
+func (e *Endpoint) InboxLen() int { return e.inner.InboxLen() }
+
+// HasMsg implements substrate.Endpoint.
+func (e *Endpoint) HasMsg(tag int) bool { return e.inner.HasMsg(tag) }
+
+// TryRecv implements substrate.Endpoint, recording the receive CPU span and
+// an EvRecv instant when a message is popped.
+func (e *Endpoint) TryRecv(cat substrate.Category) *substrate.Msg {
+	t0 := e.inner.Now()
+	m := e.inner.TryRecv(cat)
+	t1 := e.inner.Now()
+	e.rec.Span(cat, t0, t1)
+	if m != nil {
+		e.rec.Instant(EvRecv, t1, int64(m.Src), int64(m.Tag), int64(m.Size))
+	}
+	return m
+}
+
+// TryRecvTag implements substrate.Endpoint.
+func (e *Endpoint) TryRecvTag(tag int, cat substrate.Category) *substrate.Msg {
+	t0 := e.inner.Now()
+	m := e.inner.TryRecvTag(tag, cat)
+	t1 := e.inner.Now()
+	e.rec.Span(cat, t0, t1)
+	if m != nil {
+		e.rec.Instant(EvRecv, t1, int64(m.Src), int64(m.Tag), int64(m.Size))
+	}
+	return m
+}
+
+// Recv implements substrate.Endpoint via the traced WaitMsg + TryRecv pair,
+// matching the substrate contract's attribution (wait to waitCat, receive
+// overhead to CatMessaging).
+func (e *Endpoint) Recv(waitCat substrate.Category) *substrate.Msg {
+	e.WaitMsg(waitCat)
+	return e.TryRecv(substrate.CatMessaging)
+}
+
+// WaitMsg implements substrate.Endpoint, recording the blocked interval.
+func (e *Endpoint) WaitMsg(cat substrate.Category) {
+	t0 := e.inner.Now()
+	e.inner.WaitMsg(cat)
+	e.rec.Span(cat, t0, e.inner.Now())
+}
+
+// WaitMsgFor implements substrate.Endpoint, recording the blocked interval.
+func (e *Endpoint) WaitMsgFor(d substrate.Time, cat substrate.Category) bool {
+	t0 := e.inner.Now()
+	ok := e.inner.WaitMsgFor(d, cat)
+	e.rec.Span(cat, t0, e.inner.Now())
+	return ok
+}

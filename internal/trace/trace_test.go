@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"prema/internal/substrate"
+)
+
+// TestHotPathZeroAlloc is the guard behind the "<1% overhead, leave it on"
+// design: recording an event must not allocate, whatever mix of spans,
+// instants and intervals the layers emit, including after the ring wraps.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRecorder(0, 1<<10)
+	var tick substrate.Time
+	if allocs := testing.AllocsPerRun(5000, func() {
+		r.Instant(EvSend, tick, 1, 2, 3)
+		r.Span(substrate.CatCompute, tick, tick+7)
+		r.Interval(EvUnitEnd, tick, tick+9, 4, 5, 6)
+		tick += 10
+	}); allocs != 0 {
+		t.Fatalf("trace hot path allocates %.1f times per event batch, want 0", allocs)
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Instant(EvSend, 1, 2, 3, 4)
+	r.Span(substrate.CatIdle, 0, 5)
+	r.Interval(EvUnitEnd, 0, 5, 1, 2, 3)
+	if r.Total() != 0 || r.Len() != 0 || r.Dropped() != 0 {
+		t.Error("nil recorder reported non-zero state")
+	}
+}
+
+func TestRingOverflowDropsOldest(t *testing.T) {
+	r := NewRecorder(0, 6) // rounds up to 8
+	for i := 0; i < 20; i++ {
+		r.Instant(EvSend, substrate.Time(i), int64(i), 0, 0)
+	}
+	if got := r.Total(); got != 20 {
+		t.Errorf("Total = %d, want 20", got)
+	}
+	if got := r.Len(); got != 8 {
+		t.Errorf("Len = %d, want 8 (capacity rounded up from 6)", got)
+	}
+	if got := r.Dropped(); got != 12 {
+		t.Errorf("Dropped = %d, want 12", got)
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if want := int64(12 + i); e.A != want {
+			t.Fatalf("event %d has A=%d, want %d (oldest must be dropped first)", i, e.A, want)
+		}
+	}
+}
+
+// TestOverflowSurfacedInMetrics: a truncated trace must be visible in the
+// metrics registry, never mistaken for a complete one.
+func TestOverflowSurfacedInMetrics(t *testing.T) {
+	c := NewCollector(4)
+	r := c.attach(0)
+	for i := 0; i < 100; i++ {
+		r.Instant(EvSend, substrate.Time(i), 0, 0, 64)
+	}
+	reg := Summarize(c, 100)
+	if got := reg.Counters["trace_events_total"]; got != 100 {
+		t.Errorf("trace_events_total = %d, want 100", got)
+	}
+	if got := reg.Counters["trace_dropped_total"]; got != 96 {
+		t.Errorf("trace_dropped_total = %d, want 96", got)
+	}
+}
+
+func TestSpanCoalescing(t *testing.T) {
+	r := NewRecorder(0, 16)
+	r.Span(substrate.CatCompute, 0, 10)
+	r.Span(substrate.CatCompute, 10, 25) // contiguous, same cat: extends
+	r.Span(substrate.CatCompute, 30, 40) // gap: new span
+	r.Span(substrate.CatIdle, 40, 50)    // different cat: new span
+	r.Span(substrate.CatIdle, 50, 50)    // zero length: dropped
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(evs), evs)
+	}
+	if evs[0].T != 25 || evs[0].Dur != 25 {
+		t.Errorf("coalesced span = end %d dur %d, want end 25 dur 25", evs[0].T, evs[0].Dur)
+	}
+	if evs[1].T != 40 || evs[1].Dur != 10 {
+		t.Errorf("gapped span = end %d dur %d, want end 40 dur 10", evs[1].T, evs[1].Dur)
+	}
+}
+
+func TestObjKeyRoundTrip(t *testing.T) {
+	for _, tc := range [][2]int{{0, 0}, {1, 2}, {127, 1 << 20}, {4095, 0x7fffffff}} {
+		key := ObjKey(tc[0], tc[1])
+		if KeyHome(key) != tc[0] || KeyIndex(key) != tc[1] {
+			t.Errorf("ObjKey(%d,%d) round-trips to (%d,%d)", tc[0], tc[1], KeyHome(key), KeyIndex(key))
+		}
+	}
+}
+
+func TestKindAndPolicyNames(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Error("out-of-range kind must render as unknown")
+	}
+	for _, code := range []int64{PolLowLoad, PolIdle, PolPollWake} {
+		if PolicyName(code) == "unknown" {
+			t.Errorf("policy code %d has no name", code)
+		}
+	}
+}
+
+func TestSuffixPath(t *testing.T) {
+	cases := [][3]string{
+		{"t.json", "fig3", "t.fig3.json"},
+		{"out/trace.json", "fig3.none", "out/trace.fig3.none.json"},
+		{"plain", "x", "plain.x"},
+		{"a.b/c", "x", "a.b/c.x"},
+	}
+	for _, c := range cases {
+		if got := SuffixPath(c[0], c[1]); got != c[2] {
+			t.Errorf("SuffixPath(%q, %q) = %q, want %q", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := NewHist(1, 10, 100)
+	for _, v := range []float64{0.5, 2, 3, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count != 6 || h.Min != 0.5 || h.Max != 500 {
+		t.Fatalf("hist state: count=%d min=%g max=%g", h.Count, h.Min, h.Max)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < h.Min || v > h.Max {
+			t.Errorf("Quantile(%g) = %g outside [%g, %g]", q, v, h.Min, h.Max)
+		}
+	}
+	if m := h.Mean(); m != (0.5+2+3+5+50+500)/6 {
+		t.Errorf("Mean = %g", m)
+	}
+	empty := NewHist(1)
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram quantile/mean must be 0")
+	}
+}
+
+// TestChromeOutput validates the exporter end to end: the JSON parses, the
+// processor rows are named, and migration out/in pairs become flow arrows.
+func TestChromeOutput(t *testing.T) {
+	c := NewCollector(64)
+	p0, p1 := c.attach(0), c.attach(1)
+	p0.Span(substrate.CatCompute, 0, substrate.Millisecond)
+	p0.Instant(EvMigrateOut, substrate.Millisecond, 1, ObjKey(0, 3), 4096)
+	p1.Instant(EvMigrateIn, 2*substrate.Millisecond, 0, ObjKey(0, 3), 4096)
+	p1.Interval(EvUnitEnd, 2*substrate.Millisecond, 5*substrate.Millisecond, ObjKey(0, 3), 1, 0)
+	p1.Instant(EvPolicy, 5*substrate.Millisecond, PolIdle, 0, 0)
+
+	var buf bytes.Buffer
+	if err := c.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	count := map[string]int{}
+	for _, e := range parsed.TraceEvents {
+		count[e.Name+"/"+e.Ph]++
+	}
+	for name, want := range map[string]int{
+		"thread_name/M": 2,
+		"Computation/X": 1,
+		"migrate-out/i": 1,
+		"migrate-in/i":  1,
+		"unit/X":        1,
+		"policy/i":      1,
+		"migration/s":   1,
+		"migration/f":   1,
+	} {
+		if count[name] != want {
+			t.Errorf("event %s: got %d, want %d (all: %v)", name, count[name], want, count)
+		}
+	}
+}
+
+func TestChromeTS(t *testing.T) {
+	if got := chromeTS(1500); got != "1.500" {
+		t.Errorf("chromeTS(1500ns) = %q, want 1.500", got)
+	}
+	if got := chromeTS(2 * substrate.Millisecond); got != "2000" {
+		t.Errorf("chromeTS(2ms) = %q, want 2000", got)
+	}
+}
