@@ -6,7 +6,7 @@
 // Usage:
 //
 //	chaosbench [-system prema-implicit] [-figs 3,4,5,6] \
-//	           [-procs 32] [-units-per-proc 32] \
+//	           [-procs 32] [-units-per-proc 32] [-shards S] \
 //	           [-fault-plan "drop=0.2,dup=0.1"] [-fault-seed 1] \
 //	           [-rto 50ms] [-backend sim|real] [-timescale 1e-2] [-spin] \
 //	           [-trace trace.json] [-metrics metrics.txt]
@@ -55,6 +55,7 @@ func main() {
 	figs := flag.String("figs", "3,4,5,6", "comma-separated paper figure scenarios to run")
 	procs := flag.Int("procs", 32, "simulated processors")
 	upp := flag.Int("units-per-proc", 32, "work units per processor")
+	shards := flag.Int("shards", 1, "simulator backend: parallel event-loop shards per simulation (output is identical for any value)")
 	planS := flag.String("fault-plan", "drop=0.2,dup=0.1", "fault plan (faulty syntax; \"none\" = clean)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
 	rto := flag.Duration("rto", 50*time.Millisecond, "reliable-mode initial retransmission timeout")
@@ -84,6 +85,14 @@ func main() {
 	}
 	if *backend != "sim" && *backend != "real" {
 		fmt.Fprintf(os.Stderr, "chaosbench: unknown backend %q (want sim or real)\n", *backend)
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "chaosbench: -shards must be >= 1 (got %d)\n", *shards)
+		os.Exit(2)
+	}
+	if *shards > 1 && *backend != "sim" {
+		fmt.Fprintf(os.Stderr, "chaosbench: -shards applies to the simulator backend only; use -backend=sim\n")
 		os.Exit(2)
 	}
 	plan, err := faulty.ParsePlan(*planS)
@@ -118,6 +127,7 @@ func main() {
 	failed := false
 	for _, spec := range specs {
 		w := bench.PaperWorkload(spec, *procs, *upp)
+		w.Shards = *shards
 		fmt.Printf("=== Figure %d scenario: imbalance %.0f%%, heavy = %.1fx light (procs=%d, units=%d, backend=%s) ===\n",
 			spec.ID, spec.Imbalance*100, spec.Ratio, w.Procs, w.Units, *backend)
 		sink.fig = spec.ID

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	figures [-fig N] [-procs P] [-units-per-proc U] [-stride S] [-jobs J] \
-//	        [-csv DIR] [-trace trace.json] [-metrics metrics.txt]
+//	        [-shards S] [-csv DIR] [-trace trace.json] [-metrics metrics.txt]
 //
 // -trace and -metrics re-run the PREMA systems of each selected figure with
 // the internal/trace recorder attached (observational — same makespans as
@@ -16,9 +16,11 @@
 // breakdown tables (the summary lines always print). -fig 1 prints the
 // paper's Figure 1 taxonomy table.
 //
-// The 24 simulations of the full sweep are independent; -jobs (default: one
-// per CPU) fans them out across cores. Output is byte-identical for any
-// -jobs value.
+// The 24 simulations of the full sweep are independent; -jobs fans them out
+// across cores, and -shards additionally parallelizes each simulation's
+// event loop. The two levels multiply (jobs × shards goroutines contend for
+// CPUs), so the -jobs default of 0 means "auto": one worker per CPU divided
+// by -shards. Output is byte-identical for any -jobs and -shards values.
 package main
 
 import (
@@ -46,7 +48,8 @@ func main() {
 	procs := flag.Int("procs", 128, "simulated processors")
 	upp := flag.Int("units-per-proc", 128, "work units per processor")
 	stride := flag.Int("stride", 8, "per-processor breakdown sampling stride (0 = summaries only)")
-	jobs := flag.Int("jobs", sweep.DefaultJobs(), "max simulations in flight (1 = serial)")
+	jobs := flag.Int("jobs", 0, "max simulations in flight (0 = auto: one per CPU divided by -shards; 1 = serial)")
+	shards := flag.Int("shards", 1, "parallel event-loop shards per simulation (1 = serial engine; output is identical for any value)")
 	csvDir := flag.String("csv", "", "directory to write per-system breakdown CSVs into (plots)")
 	traceOut := flag.String("trace", "", "record the PREMA systems and write Chrome trace JSON per figure+system (base path; figN.system is inserted before the extension)")
 	metricsOut := flag.String("metrics", "", "write aggregated trace metrics per figure+system (base path, same suffixing; .json = JSON)")
@@ -65,8 +68,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "figures: -stride must be >= 0 (got %d)\n", *stride)
 		os.Exit(2)
 	}
-	if *jobs < 1 {
-		fmt.Fprintf(os.Stderr, "figures: -jobs must be >= 1 (got %d)\n", *jobs)
+	if *jobs < 0 {
+		fmt.Fprintf(os.Stderr, "figures: -jobs must be >= 0 (got %d)\n", *jobs)
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "figures: -shards must be >= 1 (got %d)\n", *shards)
 		os.Exit(2)
 	}
 	if *fig == 1 {
@@ -84,7 +91,7 @@ func main() {
 		}
 		specs = []bench.FigureSpec{s}
 	}
-	runs, err := bench.RunFigures(specs, *procs, *upp, *jobs)
+	runs, err := bench.RunFigures(specs, *procs, *upp, *jobs, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -103,7 +110,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "figures: -trace-ring must be >= 1 (got %d)\n", *traceRing)
 			os.Exit(2)
 		}
-		if err := writeTraces(specs, *procs, *upp, *jobs, *traceRing, *traceOut, *metricsOut); err != nil {
+		if err := writeTraces(specs, *procs, *upp, *jobs, *shards, *traceRing, *traceOut, *metricsOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -118,7 +125,7 @@ var tracedSystems = []string{"none", "prema-explicit", "prema-implicit"}
 // attached and exports one trace/metrics file per (figure, system). Tracing
 // is observational, so these runs report the same makespans as the untraced
 // sweep above.
-func writeTraces(specs []bench.FigureSpec, procs, upp, jobs, ring int, traceOut, metricsOut string) error {
+func writeTraces(specs []bench.FigureSpec, procs, upp, jobs, shards, ring int, traceOut, metricsOut string) error {
 	type job struct {
 		spec bench.FigureSpec
 		name string
@@ -133,9 +140,14 @@ func writeTraces(specs []bench.FigureSpec, procs, upp, jobs, ring int, traceOut,
 		col *trace.Collector
 		res *bench.Result
 	}
+	if jobs < 1 {
+		jobs = sweep.JobsFor(shards)
+	}
 	outs, err := sweep.Map(jobs, len(js), func(i int) (traced, error) {
 		col := trace.NewCollector(ring)
-		r, err := bench.RunSystemTraced(js[i].name, bench.PaperWorkload(js[i].spec, procs, upp), col)
+		w := bench.PaperWorkload(js[i].spec, procs, upp)
+		w.Shards = shards
+		r, err := bench.RunSystemTraced(js[i].name, w, col)
 		return traced{col, r}, err
 	})
 	if err != nil {

@@ -1,13 +1,14 @@
 // Command perfbench measures the simulator's host performance and the sweep
 // runner's parallel speedup, and writes the numbers to a JSON file (the
-// repository's BENCH trajectory: BENCH_PR5.json at the repo root).
+// repository's BENCH trajectory: BENCH_PR6.json at the repo root).
 //
 // Usage:
 //
-//	perfbench [-out BENCH_PR5.json] [-procs 128] [-units-per-proc 128] \
-//	          [-jobs J] [-events 500000] [-skip-sweep] [-skip-trace]
+//	perfbench [-out BENCH_PR6.json] [-procs 128] [-units-per-proc 128] \
+//	          [-jobs J] [-events 500000] [-skip-sweep] [-skip-trace] \
+//	          [-skip-shards] [-skip-large] [-large-procs 1024] [-large-upp 16]
 //
-// It reports three layers, matching the levels of the performance work:
+// It reports four layers, matching the levels of the performance work:
 //
 //   - engine: microbenchmarks of the discrete-event core — ns/event,
 //     allocs/event and events/sec for the Advance hot path, plus the
@@ -19,7 +20,14 @@
 //     the repository's version of the paper's "<1% runtime overhead" claim;
 //   - sweep: wall-clock time of the paper's 4-figure × 6-system evaluation
 //     campaign (24 independent simulations) run serially and with -jobs
-//     workers, with a byte-identity cross-check between the two.
+//     workers, with a byte-identity cross-check between the two;
+//   - shards: the sharded engine axis — one irregular message-passing
+//     workload timed at S ∈ {1, 2, 4} event-loop shards (ns/event, speedup
+//     vs serial, identical-makespan cross-check), plus a large-scale figure
+//     scenario (-large-procs, default 1024 processors) run sharded and
+//     cross-checked byte-for-byte against the serial engine. Shard speedup
+//     needs spare CPUs: on a single-CPU host expect S > 1 to lose to the
+//     serial engine on wall clock while still matching its output exactly.
 //
 // The default scale (-procs 128 -units-per-proc 128) is the paper's; use a
 // smaller scale for a quick look. Expect the full-scale run to take several
@@ -44,11 +52,12 @@ import (
 
 // Report is the schema of the emitted JSON.
 type Report struct {
-	Bench string     `json:"bench"`
-	Host  HostInfo   `json:"host"`
-	Eng   EngineInfo `json:"engine"`
-	Trace *TraceInfo `json:"trace,omitempty"`
-	Sweep *SweepInfo `json:"sweep,omitempty"`
+	Bench  string     `json:"bench"`
+	Host   HostInfo   `json:"host"`
+	Eng    EngineInfo `json:"engine"`
+	Trace  *TraceInfo `json:"trace,omitempty"`
+	Sweep  *SweepInfo `json:"sweep,omitempty"`
+	Shards *ShardInfo `json:"shards,omitempty"`
 }
 
 // HostInfo records the measurement platform.
@@ -98,6 +107,41 @@ type TraceInfo struct {
 	MaxOverheadPct float64         `json:"max_overhead_pct"`
 }
 
+// ShardPoint is one shard count's timing of the mesh workload.
+type ShardPoint struct {
+	Shards       int     `json:"shards"`
+	WallS        float64 `json:"wall_s"`
+	Events       uint64  `json:"events"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup_vs_serial"`
+	MakespanS    float64 `json:"makespan_s"`
+}
+
+// LargeInfo is the large-scale scenario: a paper figure workload at >= 1024
+// processors on the sharded engine, cross-checked against the serial one.
+type LargeInfo struct {
+	Procs             int     `json:"procs"`
+	UnitsPerProc      int     `json:"units_per_proc"`
+	System            string  `json:"system"`
+	Shards            int     `json:"shards"`
+	WallS             float64 `json:"wall_s"`
+	SerialWallS       float64 `json:"serial_wall_s"`
+	MakespanS         float64 `json:"makespan_s"`
+	IdenticalToSerial bool    `json:"identical_to_serial"`
+}
+
+// ShardInfo holds the sharded-engine axis: the mesh workload timed per shard
+// count and the large-scale scenario.
+type ShardInfo struct {
+	MeshProcs   int          `json:"mesh_procs"`
+	MeshRounds  int          `json:"mesh_rounds"`
+	Points      []ShardPoint `json:"points"`
+	SpeedupAtS4 float64      `json:"speedup_at_s4"`
+	Identical   bool         `json:"identical_across_shards"`
+	Large       *LargeInfo   `json:"large,omitempty"`
+}
+
 // SweepInfo holds the serial vs parallel campaign timing.
 type SweepInfo struct {
 	Figures          []int    `json:"figures"`
@@ -113,13 +157,17 @@ type SweepInfo struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
 	procs := flag.Int("procs", 128, "simulated processors for the sweep and trace timing")
 	upp := flag.Int("units-per-proc", 128, "work units per processor for the sweep and trace timing")
 	jobs := flag.Int("jobs", sweep.DefaultJobs(), "parallel sweep worker count")
 	events := flag.Int("events", 500_000, "microbenchmark event count")
 	skipSweep := flag.Bool("skip-sweep", false, "skip the serial-vs-parallel sweep timing")
 	skipTrace := flag.Bool("skip-trace", false, "skip the tracing-overhead scenario sweep")
+	skipShards := flag.Bool("skip-shards", false, "skip the sharded-engine axis")
+	skipLarge := flag.Bool("skip-large", false, "skip the large-scale scenario of the shards axis")
+	largeProcs := flag.Int("large-procs", 1024, "large-scale scenario: simulated processors")
+	largeUPP := flag.Int("large-upp", 16, "large-scale scenario: work units per processor")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -134,9 +182,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "perfbench: -procs, -units-per-proc, -jobs and -events must be positive")
 		os.Exit(2)
 	}
+	if *largeProcs < 1 || *largeUPP < 1 {
+		fmt.Fprintln(os.Stderr, "perfbench: -large-procs and -large-upp must be positive")
+		os.Exit(2)
+	}
 
 	rep := Report{
-		Bench: "PR5",
+		Bench: "PR6",
 		Host: HostInfo{
 			GoVersion:  runtime.Version(),
 			GOOS:       runtime.GOOS,
@@ -177,6 +229,25 @@ func main() {
 		rep.Sweep = info
 		fmt.Printf("  sweep:    serial %.1fs  parallel(jobs=%d) %.1fs  speedup %.2fx  identical=%v\n",
 			info.SerialWallS, info.Jobs, info.ParallelWallS, info.Speedup, info.OutputsIdentical)
+	}
+
+	if !*skipShards {
+		si, err := measureShards(*events, *largeProcs, *largeUPP, *skipLarge)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		rep.Shards = si
+		for _, p := range si.Points {
+			fmt.Printf("  shards=%d: %8.1f ns/event  %.2fM events/s  wall %.2fs  speedup %.2fx\n",
+				p.Shards, p.NsPerEvent, p.EventsPerSec/1e6, p.WallS, p.Speedup)
+		}
+		fmt.Printf("  identical across shard counts: %v\n", si.Identical)
+		if si.Large != nil {
+			fmt.Printf("  large:    %d procs x %d units/proc (%s, shards=%d)  wall %.1fs (serial %.1fs)  makespan %.1fs  identical=%v\n",
+				si.Large.Procs, si.Large.UnitsPerProc, si.Large.System, si.Large.Shards,
+				si.Large.WallS, si.Large.SerialWallS, si.Large.MakespanS, si.Large.IdenticalToSerial)
+		}
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
@@ -387,7 +458,7 @@ func measureSweep(procs, upp, jobs int) (*SweepInfo, error) {
 	fmt.Printf("perfbench: serial sweep (%d sims at %d procs x %d units/proc)...\n",
 		info.Simulations, procs, upp)
 	t0 := time.Now()
-	serial, err := bench.RunFigures(specs, procs, upp, 1)
+	serial, err := bench.RunFigures(specs, procs, upp, 1, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -396,7 +467,7 @@ func measureSweep(procs, upp, jobs int) (*SweepInfo, error) {
 
 	fmt.Printf("perfbench: parallel sweep (jobs=%d)...\n", jobs)
 	t1 := time.Now()
-	parallel, err := bench.RunFigures(specs, procs, upp, jobs)
+	parallel, err := bench.RunFigures(specs, procs, upp, jobs, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -412,4 +483,120 @@ func measureSweep(procs, upp, jobs int) (*SweepInfo, error) {
 		}
 	}
 	return info, nil
+}
+
+// meshRun executes one irregular message-passing workload — every processor
+// alternates randomized compute quanta with sends to random peers — on the
+// given shard count, returning the wall time, exact event count, and final
+// makespan. The workload is deterministic (all randomness comes from the
+// per-processor streams), so the makespan must be identical for every shard
+// count; the caller cross-checks that.
+func meshRun(procs, rounds, shards int) (time.Duration, uint64, sim.Time, error) {
+	e := sim.NewEngine(sim.Config{Seed: 7, Shards: shards})
+	for i := 0; i < procs; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *sim.Proc) {
+			rng := p.Rand()
+			n := p.Engine().NumProcs()
+			for r := 0; r < rounds; r++ {
+				p.Advance(sim.Time(1+rng.Intn(20))*sim.Microsecond, sim.CatCompute)
+				dst := rng.Intn(n)
+				if dst == p.ID() {
+					dst = (dst + 1) % n
+				}
+				p.Send(&sim.Msg{Dst: dst, Tag: 1, Size: 64}, sim.CatMessaging)
+				if p.WaitMsgFor(100*sim.Microsecond, sim.CatIdle) {
+					p.TryRecv(sim.CatMessaging)
+				}
+			}
+			for p.WaitMsgFor(200*sim.Microsecond, sim.CatIdle) {
+				p.TryRecv(sim.CatMessaging)
+			}
+		})
+	}
+	t0 := time.Now()
+	if err := e.Run(); err != nil {
+		return 0, 0, 0, err
+	}
+	return time.Since(t0), e.EventsFired(), e.Makespan(), nil
+}
+
+// measureShards times the mesh workload at S in {1, 2, 4} shards and runs
+// the large-scale figure scenario sharded and serial, cross-checking both
+// byte-identity claims.
+func measureShards(events, largeProcs, largeUPP int, skipLarge bool) (*ShardInfo, error) {
+	const meshProcs = 256
+	rounds := events / (meshProcs * 5) // ~5 events per (advance, send, recv) round
+	if rounds < 10 {
+		rounds = 10
+	}
+	si := &ShardInfo{MeshProcs: meshProcs, MeshRounds: rounds, Identical: true}
+	fmt.Printf("perfbench: sharded engine axis (mesh: %d procs x %d rounds)...\n", meshProcs, rounds)
+	var serialWall float64
+	var serialMakespan sim.Time
+	for _, s := range []int{1, 2, 4} {
+		wall, fired, makespan, err := meshRun(meshProcs, rounds, s)
+		if err != nil {
+			return nil, fmt.Errorf("mesh shards=%d: %w", s, err)
+		}
+		p := ShardPoint{
+			Shards:     s,
+			WallS:      wall.Seconds(),
+			Events:     fired,
+			NsPerEvent: float64(wall.Nanoseconds()) / float64(fired),
+			MakespanS:  makespan.Seconds(),
+		}
+		if p.NsPerEvent > 0 {
+			p.EventsPerSec = 1e9 / p.NsPerEvent
+		}
+		if s == 1 {
+			serialWall, serialMakespan = p.WallS, makespan
+			p.Speedup = 1
+		} else {
+			if p.WallS > 0 {
+				p.Speedup = serialWall / p.WallS
+			}
+			if makespan != serialMakespan {
+				si.Identical = false
+			}
+			if s == 4 {
+				si.SpeedupAtS4 = p.Speedup
+			}
+		}
+		si.Points = append(si.Points, p)
+	}
+	if skipLarge {
+		return si, nil
+	}
+
+	const largeShards = 4
+	const system = "prema-implicit"
+	spec := bench.Figures()[0]
+	w := bench.PaperWorkload(spec, largeProcs, largeUPP)
+	fmt.Printf("perfbench: large scenario (%d procs x %d units/proc, %s, shards=%d vs serial)...\n",
+		largeProcs, largeUPP, system, largeShards)
+	w.Shards = largeShards
+	t0 := time.Now()
+	sharded, err := bench.RunSystem(system, w)
+	if err != nil {
+		return nil, fmt.Errorf("large sharded: %w", err)
+	}
+	shardedWall := time.Since(t0).Seconds()
+	w.Shards = 1
+	t1 := time.Now()
+	serial, err := bench.RunSystem(system, w)
+	if err != nil {
+		return nil, fmt.Errorf("large serial: %w", err)
+	}
+	si.Large = &LargeInfo{
+		Procs:             largeProcs,
+		UnitsPerProc:      largeUPP,
+		System:            system,
+		Shards:            largeShards,
+		WallS:             shardedWall,
+		SerialWallS:       time.Since(t1).Seconds(),
+		MakespanS:         sharded.Makespan.Seconds(),
+		IdenticalToSerial: serial.Summary() == sharded.Summary() &&
+			serial.Breakdown(1) == sharded.Breakdown(1),
+	}
+	return si, nil
 }

@@ -5,8 +5,8 @@
 //
 //	premabench -system prema-implicit -imbalance 0.5 -ratio 2.0 \
 //	           [-procs 128] [-units-per-proc 128] [-stride 8] [-hints mean] \
-//	           [-jobs J] [-backend sim|real] [-timescale 1e-3] [-spin] \
-//	           [-fault-plan PLAN] [-fault-seed N] [-reliable] \
+//	           [-jobs J] [-shards S] [-backend sim|real] [-timescale 1e-3] \
+//	           [-spin] [-fault-plan PLAN] [-fault-seed N] [-reliable] \
 //	           [-trace trace.json] [-metrics metrics.txt] [-trace-ring N]
 //
 // -trace records the run's event stream (internal/trace) and writes it as
@@ -32,7 +32,10 @@
 // -system also accepts a comma-separated list (multi-system mode): the named
 // configurations all run on the same workload, up to -jobs simulations in
 // flight, and the summaries print in the order given. Simulations are
-// independent, so the output is identical for any -jobs value.
+// independent, so the output is identical for any -jobs value. -shards
+// additionally parallelizes each simulation's event loop (simulator only;
+// also output-identical); the two levels multiply, so the -jobs default of 0
+// means "auto": one worker per CPU divided by -shards.
 //
 // -backend selects the execution substrate: "sim" (default) runs the
 // deterministic discrete-event simulator; "real" runs the PREMA systems with
@@ -66,7 +69,8 @@ func main() {
 	upp := flag.Int("units-per-proc", 128, "work units per processor")
 	stride := flag.Int("stride", 8, "breakdown sampling stride (0 = summary only)")
 	hints := flag.String("hints", "mean", "weight hints given to balancers: mean | accurate")
-	jobs := flag.Int("jobs", sweep.DefaultJobs(), "multi-system mode: max simulations in flight")
+	jobs := flag.Int("jobs", 0, "multi-system mode: max simulations in flight (0 = auto: one per CPU divided by -shards)")
+	shards := flag.Int("shards", 1, "simulator backend: parallel event-loop shards per simulation (output is identical for any value)")
 	backend := flag.String("backend", "sim", "execution substrate: sim (deterministic) | real (goroutines)")
 	timescale := flag.Float64("timescale", 1e-3, "real backend: wall seconds per virtual second")
 	spin := flag.Bool("spin", false, "real backend: busy-wait instead of sleeping")
@@ -90,9 +94,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "premabench: -stride must be >= 0 (got %d)\n", *stride)
 		os.Exit(2)
 	}
-	if *jobs < 1 {
-		fmt.Fprintf(os.Stderr, "premabench: -jobs must be >= 1 (got %d)\n", *jobs)
+	if *jobs < 0 {
+		fmt.Fprintf(os.Stderr, "premabench: -jobs must be >= 0 (got %d)\n", *jobs)
 		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "premabench: -shards must be >= 1 (got %d)\n", *shards)
+		os.Exit(2)
+	}
+	if *shards > 1 && *backend != "sim" {
+		fmt.Fprintf(os.Stderr, "premabench: -shards applies to the simulator backend only; use -backend=sim\n")
+		os.Exit(2)
+	}
+	if *jobs < 1 {
+		*jobs = sweep.JobsFor(*shards)
 	}
 	if *timescale <= 0 {
 		fmt.Fprintf(os.Stderr, "premabench: -timescale must be positive (got %g)\n", *timescale)
@@ -104,6 +119,7 @@ func main() {
 		os.Exit(2)
 	}
 	w := bench.PaperWorkload(bench.FigureSpec{ID: 0, Imbalance: *imb, Ratio: *ratio}, *procs, *upp)
+	w.Shards = *shards
 	switch *hints {
 	case "mean":
 		w.Hints = bench.HintMean

@@ -12,15 +12,23 @@ import (
 // guarantee makes the parallel output byte-identical to the serial one.
 
 // RunFigures runs the full (figure × system) grid for the given specs with
-// at most jobs simulations in flight, returning FigureRuns in spec order
-// with Results ordered as SystemNames — exactly what serial RunFigure calls
-// would produce. jobs < 1 selects sweep.DefaultJobs(); jobs == 1 is the
-// serial path.
-func RunFigures(specs []FigureSpec, procs, unitsPerProc, jobs int) ([]*FigureRun, error) {
+// at most jobs simulations in flight, each on `shards` simulator shards,
+// returning FigureRuns in spec order with Results ordered as SystemNames —
+// exactly what serial RunFigure calls would produce. The two parallelism
+// levels multiply (jobs × shards goroutines want CPUs at once), so jobs < 1
+// selects sweep.JobsFor(shards), which clamps the product to the CPU count;
+// jobs == 1, shards == 1 is the fully serial path. Neither knob changes a
+// single output byte.
+func RunFigures(specs []FigureSpec, procs, unitsPerProc, jobs, shards int) ([]*FigureRun, error) {
+	if jobs < 1 {
+		jobs = sweep.JobsFor(shards)
+	}
 	nsys := len(SystemNames)
 	results, err := sweep.Map(jobs, len(specs)*nsys, func(i int) (*Result, error) {
 		spec, name := specs[i/nsys], SystemNames[i%nsys]
-		r, err := RunSystem(name, PaperWorkload(spec, procs, unitsPerProc))
+		w := PaperWorkload(spec, procs, unitsPerProc)
+		w.Shards = shards
+		r, err := RunSystem(name, w)
 		if err != nil {
 			return nil, fmt.Errorf("figure %d: %w", spec.ID, err)
 		}

@@ -21,7 +21,9 @@ func TestSweepMatchesSerial(t *testing.T) {
 		serial = append(serial, fr)
 	}
 
-	parallel, err := RunFigures(specs, procs, upp, 8)
+	// jobs=8 and shards=2 together also exercise the sweep × shard
+	// parallelism product: neither knob may change a single output byte.
+	parallel, err := RunFigures(specs, procs, upp, 8, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

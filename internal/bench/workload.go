@@ -56,6 +56,11 @@ type Workload struct {
 	// Network overrides the interconnect model (zero value = Fast Ethernet
 	// defaults).
 	Network sim.NetworkConfig
+	// Shards is the simulator's parallel event-loop shard count (<= 1 =
+	// serial). It is a pure performance knob: every report, hash, and trace
+	// is byte-identical for every value (internal/bench/shard_equivalence_test.go
+	// guards this). It only applies to the simulator backend.
+	Shards int
 }
 
 // NumHeavy returns the number of heavy units.
@@ -117,12 +122,12 @@ func (w Workload) IdealMakespan() sim.Time {
 
 // engine builds the simulation engine for this workload.
 func (w Workload) engine() *sim.Engine {
-	return sim.NewEngine(sim.Config{Network: w.Network, Seed: w.Seed})
+	return sim.NewEngine(sim.Config{Network: w.Network, Seed: w.Seed, Shards: w.Shards})
 }
 
 // machine builds the default (deterministic simulator) substrate machine for
 // this workload. The RunXxxOn drivers accept any substrate.Machine; callers
 // wanting real concurrency construct an rtm.Machine themselves.
 func (w Workload) machine() substrate.Machine {
-	return sim.NewMachine(sim.Config{Network: w.Network, Seed: w.Seed})
+	return sim.NewMachine(sim.Config{Network: w.Network, Seed: w.Seed, Shards: w.Shards})
 }

@@ -3,12 +3,24 @@
 // repository reproduces the PREMA runtime and its baselines (ParMETIS-style
 // stop-and-repartition and a Charm++-style chare runtime).
 //
-// Each simulated processor is a goroutine, but at most one of them executes
-// at any instant: the engine and the processors hand control back and forth
-// over unbuffered channels, so a simulation is sequential, race-free, and —
-// together with the (time, seq)-ordered event heap and seeded RNG —
-// fully deterministic. Virtual time advances only through the cost model:
-// computation (Proc.Advance), message send/receive CPU overheads, and network
+// Each simulated processor is a goroutine, but processors only execute when
+// their owning *shard* hands them control over unbuffered channels. With one
+// shard (the default) the simulation is fully sequential, exactly as it was
+// before the engine was parallelized. With S > 1 shards the processors are
+// partitioned round-robin across S shard event loops that run on their own
+// goroutines and advance in bounded-lag windows: the minimum cross-shard
+// link latency (NetworkConfig.Latency) is a conservative lookahead, so
+// every event a shard fires inside the window [T, T+Latency) is safe —
+// no message from another shard can arrive before T+Latency. Cross-shard
+// deliveries wait in per-(shard,shard) mailboxes and are exchanged at the
+// window barrier.
+//
+// Sharding is a performance knob, not a semantics knob: shards share no
+// mutable state and the event ordering key is partition-invariant (see
+// event.go), so a simulation's output — makespans, accounts, spans, message
+// timings, per-processor RNG streams — is byte-identical for every shard
+// count. Virtual time advances only through the cost model: computation
+// (Proc.Advance), message send/receive CPU overheads, and network
 // latency/bandwidth. This lets the harness reproduce the paper's
 // per-processor time breakdowns (idle, messaging, scheduling, callback,
 // polling-thread, partition-calculation, synchronization) on a laptop.
@@ -17,58 +29,114 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime/debug"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Config parameterizes an Engine.
 type Config struct {
 	// Network is the interconnect cost model.
 	Network NetworkConfig
-	// Seed seeds the engine's deterministic RNG.
+	// Seed seeds the engine's deterministic RNGs (the engine-level stream
+	// and the per-processor streams derived from it).
 	Seed int64
+	// Shards is the number of parallel event-loop shards (<= 1 = serial).
+	// Output is byte-identical for every value; more shards trade
+	// per-window barrier overhead for parallelism, so the sweet spot is
+	// min(GOMAXPROCS, a few) for large simulations and 1 for small ones.
+	// Sharding requires a positive Network.Latency for lookahead; with a
+	// zero-latency network the engine silently runs serial.
+	Shards int
 }
 
-// Engine owns virtual time, the event queue, the network, and the set of
-// simulated processors. Create one with NewEngine, add processors with
-// Spawn, then call Run.
+// Engine owns the simulated machine: configuration, the set of processors,
+// and the shard event loops that execute them. Create one with NewEngine,
+// add processors with Spawn, then call Run.
 type Engine struct {
 	cfg     Config
-	now     Time
-	heap    eventHeap
-	seq     uint64
-	free    *event // recycled fired events (intrusive list via event.next)
+	look    Time // conservative lookahead (window length) = Network.Latency
 	procs   []*Proc
-	net     *network
+	shards  []*shard
 	rng     *rand.Rand
-	running *Proc
-	stopped bool
+	base    Time // sharded mode: current window base (coordinator-owned)
+	running bool // true while Run executes
 	err     error
+	stop    atomic.Bool
 
-	tracing bool
-	spans   []Span
+	tracing     bool
+	spans       []Span // merged + canonically sorted, built lazily by Spans
+	spansMerged bool
 }
+
+// maxTime is the "no bound" window end for the serial fast path.
+const maxTime = Time(math.MaxInt64)
 
 // NewEngine returns an engine with the given configuration.
 func NewEngine(cfg Config) *Engine {
 	if cfg.Network == (NetworkConfig{}) {
 		cfg.Network = DefaultNetwork()
 	}
-	return &Engine{
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Network.Latency <= 0 {
+		// No positive lookahead: conservative windows would have zero
+		// width. Run serial; output is identical either way.
+		cfg.Shards = 1
+	}
+	e := &Engine{
 		cfg:  cfg,
-		heap: eventHeap{ev: make([]*event, 0, 1024)},
-		net:  newNetwork(cfg.Network),
+		look: cfg.Network.Latency,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 	}
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = newShard(e, i, cfg.Shards)
+	}
+	return e
 }
 
-// Now returns the current virtual time.
-func (e *Engine) Now() Time { return e.now }
+// Shards returns the number of shard event loops (1 = serial).
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// EventsFired returns the total number of events executed so far, summed
+// over shards. Read it after Run (or from serial simulation context).
+func (e *Engine) EventsFired() uint64 {
+	var n uint64
+	for _, s := range e.shards {
+		n += s.fired
+	}
+	return n
+}
+
+// shardOf returns the shard owning processor id (round-robin partition).
+func (e *Engine) shardOf(id int) int { return id % len(e.shards) }
+
+// Now returns the engine's notion of current virtual time: the (single)
+// shard clock in serial mode, the maximum shard clock in sharded mode.
+// Processor bodies should use Proc.Now, which is their own shard's clock;
+// Engine.Now is for drivers before and after Run.
+func (e *Engine) Now() Time {
+	if len(e.shards) == 1 {
+		return e.shards[0].now
+	}
+	var t Time
+	for _, s := range e.shards {
+		if s.now > t {
+			t = s.now
+		}
+	}
+	return t
+}
 
 // Rand returns the engine's deterministic random source. It must only be
-// used from simulation context (event handlers and processor bodies).
+// used from serial simulation context (event handlers and processor bodies
+// on a one-shard engine) or before Run; sharded processor bodies must use
+// their own Proc.Rand stream.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // NumProcs returns the number of spawned processors.
@@ -77,94 +145,47 @@ func (e *Engine) NumProcs() int { return len(e.procs) }
 // Proc returns processor i.
 func (e *Engine) Proc(i int) *Proc { return e.procs[i] }
 
-// After schedules fn to run d from now on the engine's event loop.
-func (e *Engine) After(d Time, fn func()) { e.at(d, fn) }
-
-// alloc takes an event from the free list, or heap-allocates when the list
-// is empty (cold start and queue-depth high-water marks only).
-func (e *Engine) alloc(d Time) *event {
-	if d < 0 {
-		d = 0
+// After schedules fn to run d from now on shard 0's event loop. It may be
+// called before Run on any engine, or from simulation context on a serial
+// (one-shard) engine; calling it mid-run on a sharded engine panics, since
+// the closure would race with the other shards.
+func (e *Engine) After(d Time, fn func()) {
+	if e.running && len(e.shards) > 1 {
+		panic("sim: After is unavailable while a sharded engine runs; schedule before Run or use Shards: 1")
 	}
-	e.seq++
-	ev := e.free
-	if ev == nil {
-		ev = &event{}
-	} else {
-		e.free = ev.next
-		ev.next = nil
-	}
-	ev.at = e.now + d
-	ev.seq = e.seq
-	return ev
+	e.shards[0].at(d, fn)
 }
 
-// release returns a fired event to the free list, dropping its operand
-// references so recycled events retain nothing.
-func (e *Engine) release(ev *event) {
-	*ev = event{next: e.free}
-	e.free = ev
-}
-
-func (e *Engine) at(d Time, fn func()) {
-	ev := e.alloc(d)
-	ev.kind = evFunc
-	ev.fn = fn
-	e.heap.Push(ev)
-}
-
-// atWake schedules proc.wakeIf(gen) at now+d without allocating a closure.
-func (e *Engine) atWake(d Time, p *Proc, gen uint64) {
-	ev := e.alloc(d)
-	ev.kind = evWake
-	ev.proc = p
-	ev.gen = gen
-	e.heap.Push(ev)
-}
-
-// atDeliver schedules delivery of m at now+d without allocating a closure.
-func (e *Engine) atDeliver(d Time, m *Msg) {
-	ev := e.alloc(d)
-	ev.kind = evDeliver
-	ev.msg = m
-	e.heap.Push(ev)
-}
-
-// atTransfer schedules a control handoff to p at now+d.
-func (e *Engine) atTransfer(d Time, p *Proc) {
-	ev := e.alloc(d)
-	ev.kind = evTransfer
-	ev.proc = p
-	e.heap.Push(ev)
-}
-
-// fire dispatches one popped event.
-func (e *Engine) fire(ev *event) {
-	switch ev.kind {
-	case evWake:
-		ev.proc.wakeIf(ev.gen)
-	case evDeliver:
-		e.deliver(ev.msg)
-	case evTransfer:
-		e.transfer(ev.proc)
-	default:
-		ev.fn()
+// Stop ends the simulation: remaining events are discarded and
+// still-blocked processors are torn down. On a serial engine it takes
+// effect after the currently firing event, exactly as before; on a sharded
+// engine it takes effect at the current window barrier (the shards finish
+// the window they are in — deterministic, but a sharded stop point is up to
+// one lookahead window later than the serial one, so drivers that need
+// byte-identical stop timing across shard counts should terminate by
+// message protocol, as the PREMA stack's StopAll does).
+func (e *Engine) Stop() {
+	e.stop.Store(true)
+	if len(e.shards) == 1 {
+		e.shards[0].stopped = true
 	}
 }
 
-// Stop ends the simulation after the currently firing event completes.
-// Remaining events are discarded and still-blocked processors are torn down.
-func (e *Engine) Stop() { e.stopped = true }
-
-// Spawn creates a simulated processor whose behaviour is body. The processor
-// starts executing when virtual time reaches the moment of the Spawn call
-// (normally time zero, before Run). Processor IDs are assigned densely in
-// spawn order.
+// Spawn creates a simulated processor whose behaviour is body. The
+// processor starts executing when virtual time reaches the moment of the
+// Spawn call (normally time zero, before Run). Processor IDs are assigned
+// densely in spawn order. On a sharded engine all Spawn calls must precede
+// Run.
 func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	if e.running && len(e.shards) > 1 {
+		panic("sim: Spawn is unavailable while a sharded engine runs; spawn before Run or use Shards: 1")
+	}
+	id := len(e.procs)
+	s := e.shards[e.shardOf(id)]
 	p := &Proc{
-		id:     len(e.procs),
+		id:     id,
 		name:   name,
-		eng:    e,
+		sh:     s,
 		resume: make(chan struct{}),
 		parked: make(chan struct{}),
 	}
@@ -178,8 +199,8 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 						if r == errKilled {
 							return
 						}
-						if e.err == nil {
-							e.err = fmt.Errorf("sim: processor %q panicked: %v\n%s", p.name, r, debug.Stack())
+						if s.err == nil {
+							s.err = fmt.Errorf("sim: processor %q panicked: %v\n%s", p.name, r, debug.Stack())
 						}
 					}
 				}()
@@ -187,46 +208,33 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 			}()
 		}
 		p.done = true
-		p.finishedAt = e.now
+		p.finishedAt = s.now
 		p.parked <- struct{}{}
 	}()
-	e.atTransfer(0, p)
+	s.atTransfer(0, p)
 	return p
-}
-
-// transfer hands the (single) thread of control to p until p blocks or
-// finishes. It must only be called from the engine's event loop; processors
-// never call it directly (Unpark schedules an event instead).
-func (e *Engine) transfer(p *Proc) {
-	if p.done {
-		return
-	}
-	prev := e.running
-	e.running = p
-	p.resume <- struct{}{}
-	<-p.parked
-	e.running = prev
 }
 
 // ErrDeadlock is returned (wrapped) by Run when the event queue drains while
 // some processors are still blocked.
 var ErrDeadlock = errors.New("sim: deadlock")
 
-// Run executes the simulation until the event queue is empty, Stop is
+// Run executes the simulation until every event queue is empty, Stop is
 // called, or a processor panics. It returns an error on panic or deadlock
-// (event queue empty with processors still blocked).
+// (event queues empty with processors still blocked).
 func (e *Engine) Run() error {
-	for e.err == nil && !e.stopped {
-		ev := e.heap.Pop()
-		if ev == nil {
+	e.running = true
+	if len(e.shards) == 1 {
+		e.shards[0].runWindow(maxTime)
+	} else {
+		e.runSharded()
+	}
+	e.running = false
+	for _, s := range e.shards {
+		if s.err != nil {
+			e.err = s.err
 			break
 		}
-		if ev.at < e.now {
-			panic("sim: event scheduled in the past")
-		}
-		e.now = ev.at
-		e.fire(ev)
-		e.release(ev)
 	}
 	var stuck []string
 	for _, p := range e.procs {
@@ -238,7 +246,7 @@ func (e *Engine) Run() error {
 	if e.err != nil {
 		return e.err
 	}
-	if len(stuck) > 0 && !e.stopped {
+	if len(stuck) > 0 && !e.stop.Load() {
 		sort.Strings(stuck)
 		return fmt.Errorf("%w: %d processors still blocked: %s",
 			ErrDeadlock, len(stuck), strings.Join(stuck, ", "))
@@ -246,26 +254,95 @@ func (e *Engine) Run() error {
 	return nil
 }
 
-// teardown unwinds any still-blocked processor goroutines so they do not
-// leak past Run.
-func (e *Engine) teardown() {
-	for _, p := range e.procs {
-		if !p.done {
-			p.killed = true
-			e.transfer(p)
+// runSharded is the conservative parallel loop: one persistent worker
+// goroutine per shard, windows of length e.look, mailbox exchange and a
+// full barrier between windows. The coordinator (this goroutine) only
+// touches shard state while every worker is parked at the barrier, so the
+// whole machine needs no locks — the channels' happens-before edges carry
+// all cross-shard visibility.
+func (e *Engine) runSharded() {
+	for _, s := range e.shards {
+		s.start = make(chan Time)
+		s.done = make(chan struct{}, 1)
+		go s.work()
+	}
+	for !e.stop.Load() {
+		failed := false
+		for _, s := range e.shards {
+			if s.err != nil {
+				failed = true
+				break
+			}
+		}
+		if failed {
+			break
+		}
+		e.exchange()
+		base, ok := e.minNext()
+		if !ok {
+			break // every heap and mailbox is empty: simulation over
+		}
+		e.base = base
+		end := base + e.look
+		for _, s := range e.shards {
+			s.start <- end
+		}
+		for _, s := range e.shards {
+			<-s.done
+		}
+	}
+	for _, s := range e.shards {
+		close(s.start)
+	}
+}
+
+// exchange moves every outbox entry into its destination shard's heap. It
+// runs between windows, when all workers are parked, so it may touch any
+// shard's heap and free list directly. Entries and their backing arrays are
+// reused across windows: the steady-state cross-shard path allocates
+// nothing (guarded by a test).
+func (e *Engine) exchange() {
+	for _, src := range e.shards {
+		for d, box := range src.out {
+			if len(box) == 0 {
+				continue
+			}
+			dst := e.shards[d]
+			for i := range box {
+				ent := &box[i]
+				ev := dst.alloc()
+				ev.kind = evDeliver
+				ev.msg = ent.m
+				dst.heap.Push(ent.at, ent.ord, ev)
+				*ent = mailEntry{} // drop the Msg reference
+			}
+			src.out[d] = box[:0]
 		}
 	}
 }
 
-// deliver appends m to its destination inbox and wakes the destination if it
-// is blocked waiting for a message.
-func (e *Engine) deliver(m *Msg) {
-	p := e.procs[m.Dst]
-	m.ArrivedAt = e.now
-	p.inbox.push(m)
-	if p.blocked && p.waitingMsg {
-		p.waitGen++ // invalidate any pending wait timeout
-		e.transfer(p)
+// minNext returns the earliest pending event time across all shards; ok is
+// false when every heap is empty (mailboxes are always empty here — the
+// caller exchanges first).
+func (e *Engine) minNext() (Time, bool) {
+	min, any := maxTime, false
+	for _, s := range e.shards {
+		if at, ok := s.heap.PeekTime(); ok && (at < min || !any) {
+			min, any = at, true
+		}
+	}
+	return min, any
+}
+
+// teardown unwinds any still-blocked processor goroutines so they do not
+// leak past Run. It runs after every shard worker has quiesced, so the
+// sequential transfers below are race-free.
+func (e *Engine) teardown() {
+	for _, p := range e.procs {
+		if !p.done {
+			p.killed = true
+			p.sh.transfer(p)
+		}
 	}
 }
 

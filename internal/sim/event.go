@@ -1,29 +1,28 @@
 package sim
 
-// event is a scheduled occurrence in virtual time. Events with equal
-// timestamps fire in scheduling order (seq), which keeps the simulation
-// deterministic.
+// event is a scheduled occurrence in virtual time.
 //
 // The engine schedules one event per work unit advance, per message delivery
 // and per processor handoff, so this is the simulator's hottest allocation
-// site. Two measures keep it allocation-free in steady state:
+// site. Three measures keep the hot path cheap:
 //
 //   - the common occurrences (processor wake-ups, message deliveries,
 //     control transfers) are encoded as a kind tag plus typed operands
 //     instead of a fresh closure per event;
-//   - fired events are recycled through the engine's intrusive free list
-//     (the engine is single-threaded, so no sync.Pool is needed).
+//   - fired events are recycled through the owning shard's intrusive free
+//     list (each shard's event loop is single-threaded, so no sync.Pool is
+//     needed);
+//   - the ordering key (timestamp + ord, see below) lives inline in the
+//     heap's entry array, not behind the event pointer, so heap sifts touch
+//     one contiguous array instead of chasing a pointer per comparison. The
+//     event struct itself is 48 bytes — under a cache line.
 type event struct {
-	at   Time
-	seq  uint64
-	kind eventKind
-
 	proc *Proc  // evWake, evTransfer: target processor
-	gen  uint64 // evWake: wait generation to test
 	msg  *Msg   // evDeliver: message to deliver
 	fn   func() // evFunc: arbitrary callback (Engine.After)
-
-	next *event // engine free list link (nil while scheduled)
+	next *event // shard free list link (nil while scheduled)
+	gen  uint64 // evWake: wait generation to test
+	kind eventKind
 }
 
 // eventKind discriminates the typed hot-path events from the generic
@@ -32,65 +31,113 @@ type eventKind uint8
 
 const (
 	evFunc     eventKind = iota // fn()
-	evWake                      // proc.wakeIf(gen)
-	evDeliver                   // engine.deliver(msg)
-	evTransfer                  // engine.transfer(proc)
+	evWake                      // wake proc if still in generation gen
+	evDeliver                   // deliver msg to its destination inbox
+	evTransfer                  // hand control to proc
 )
+
+// Event ordering
+//
+// Events fire in (at, ord) order. Before the engine was sharded, ord was a
+// single global allocation counter; that order is unreconstructible once
+// processors are partitioned across shards (no shard can know where its
+// counter values interleave with another's). Instead ord encodes a
+// *partition-invariant* total order in two bands:
+//
+//   - deliveries (the only events that cross shards) carry the sending
+//     processor's ID and its per-processor send sequence number. Both are
+//     properties of the sender's own execution, identical under any
+//     partitioning.
+//   - local events (wakes, transfers, callbacks) carry a per-shard
+//     allocation counter with the top bit set. These events are only ever
+//     created by their own shard's execution, so the shard-local counter
+//     induces the same relative order the global counter did — for any
+//     shard count, including one.
+//
+// Deliveries sort before local events at equal timestamps: when a delivery
+// ties with a local wake to the nanosecond, the delivery fires first, under
+// every shard count. (That is also what the old allocation-order tie-break
+// did in practice: a delivery is scheduled a full network latency before it
+// fires, so its counter value predated any same-instant wake's.) Cross-band
+// and cross-source ties at equal (at, ord) are impossible by construction,
+// so (at, ord) is a total order and every shard fires an identical event
+// sequence whether it runs alone (serial engine) or next to S-1 siblings —
+// the byte-identity guarantee the drivers and tests rely on.
+const (
+	ordLocalBand = uint64(1) << 63
+	ordSrcShift  = 40 // deliver ord: src<<40 | sendSeq (sendSeq < 2^40)
+)
+
+// deliverOrd builds the delivery-band ordering key for a message delivery.
+func deliverOrd(src int, sendSeq uint64) uint64 {
+	return uint64(src)<<ordSrcShift | sendSeq&(1<<ordSrcShift-1)
+}
 
 // heapArity is the fan-out of the event heap. A 4-ary heap halves the tree
 // depth of a binary heap, trading slightly more comparisons per level for
 // far fewer levels (and cache misses) per sift — a net win at the event
 // queue sizes the full-scale sweep reaches. The pop order is identical to
-// any other min-heap because (at, seq) is a total order.
+// any other min-heap because (at, ord) is a total order.
 const heapArity = 4
 
-// eventHeap is a d-ary min-heap ordered by (at, seq). It is implemented
-// directly rather than through container/heap to avoid interface boxing on
-// the simulator's hottest path.
-type eventHeap struct {
-	ev []*event
+// heapEntry is one heap slot: the ordering key inline plus the event
+// pointer. 24 bytes, so a sift-down's comparisons stay within a few cache
+// lines of the backing array.
+type heapEntry struct {
+	at  Time
+	ord uint64
+	ev  *event
 }
 
-func (h *eventHeap) Len() int { return len(h.ev) }
-
-func (h *eventHeap) less(i, j int) bool {
-	a, b := h.ev[i], h.ev[j]
+func (a heapEntry) before(b heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	return a.ord < b.ord
 }
 
-// Push inserts an event.
-func (h *eventHeap) Push(e *event) {
-	h.ev = append(h.ev, e)
-	i := len(h.ev) - 1
+// eventHeap is a d-ary min-heap ordered by (at, ord). It is implemented
+// directly rather than through container/heap to avoid interface boxing on
+// the simulator's hottest path.
+type eventHeap struct {
+	e []heapEntry
+}
+
+func (h *eventHeap) Len() int { return len(h.e) }
+
+// Push inserts an event with its ordering key.
+func (h *eventHeap) Push(at Time, ord uint64, ev *event) {
+	h.e = append(h.e, heapEntry{at: at, ord: ord, ev: ev})
+	i := len(h.e) - 1
+	x := h.e[i]
 	for i > 0 {
 		parent := (i - 1) / heapArity
-		if !h.less(i, parent) {
+		if !x.before(h.e[parent]) {
 			break
 		}
-		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		h.e[i] = h.e[parent]
 		i = parent
 	}
+	h.e[i] = x
 }
 
-// Pop removes and returns the earliest event, or nil if the heap is empty.
-func (h *eventHeap) Pop() *event {
-	n := len(h.ev)
+// Pop removes and returns the earliest entry; ok is false if the heap is
+// empty.
+func (h *eventHeap) Pop() (top heapEntry, ok bool) {
+	n := len(h.e)
 	if n == 0 {
-		return nil
+		return heapEntry{}, false
 	}
-	top := h.ev[0]
-	h.ev[0] = h.ev[n-1]
-	h.ev[n-1] = nil
-	h.ev = h.ev[:n-1]
+	top = h.e[0]
+	h.e[0] = h.e[n-1]
+	h.e[n-1] = heapEntry{}
+	h.e = h.e[:n-1]
 	h.siftDown(0)
-	return top
+	return top, true
 }
 
 func (h *eventHeap) siftDown(i int) {
-	n := len(h.ev)
+	n := len(h.e)
 	for {
 		first := heapArity*i + 1
 		if first >= n {
@@ -102,22 +149,23 @@ func (h *eventHeap) siftDown(i int) {
 			last = n
 		}
 		for c := first; c < last; c++ {
-			if h.less(c, smallest) {
+			if h.e[c].before(h.e[smallest]) {
 				smallest = c
 			}
 		}
 		if smallest == i {
 			return
 		}
-		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		h.e[i], h.e[smallest] = h.e[smallest], h.e[i]
 		i = smallest
 	}
 }
 
-// Peek returns the earliest event without removing it.
-func (h *eventHeap) Peek() *event {
-	if len(h.ev) == 0 {
-		return nil
+// PeekTime returns the earliest entry's timestamp; ok is false if the heap
+// is empty.
+func (h *eventHeap) PeekTime() (at Time, ok bool) {
+	if len(h.e) == 0 {
+		return 0, false
 	}
-	return h.ev[0]
+	return h.e[0].at, true
 }

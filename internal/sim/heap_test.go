@@ -7,32 +7,31 @@ import (
 	"testing/quick"
 )
 
-// TestHeapOrderingProperty: popping all events from a heap built from any
-// sequence of push times yields a sequence sorted by (time, insertion seq).
+// TestHeapOrderingProperty: popping all entries from a heap built from any
+// sequence of push times yields a sequence sorted by (time, ord).
 func TestHeapOrderingProperty(t *testing.T) {
 	f := func(times []int16) bool {
 		var h eventHeap
-		var seq uint64
+		var ord uint64
 		for _, raw := range times {
-			seq++
+			ord++
 			tm := Time(raw)
 			if tm < 0 {
 				tm = -tm
 			}
-			h.Push(&event{at: tm, seq: seq})
+			h.Push(tm, ord, &event{})
 		}
-		var prev *event
+		var prev heapEntry
+		var any bool
 		for {
-			e := h.Pop()
-			if e == nil {
+			e, ok := h.Pop()
+			if !ok {
 				break
 			}
-			if prev != nil {
-				if e.at < prev.at || (e.at == prev.at && e.seq < prev.seq) {
-					return false
-				}
+			if any && e.before(prev) {
+				return false
 			}
-			prev = e
+			prev, any = e, true
 		}
 		return true
 	}
@@ -44,18 +43,18 @@ func TestHeapOrderingProperty(t *testing.T) {
 func TestHeapInterleavedPushPop(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	var h eventHeap
-	var seq uint64
+	var ord uint64
 	var popped []Time
 	var lastPopped Time = -1
 	for i := 0; i < 5000; i++ {
 		if rng.Intn(3) != 0 || h.Len() == 0 {
-			seq++
+			ord++
 			// Never schedule in the past relative to the last pop: mimics the
 			// engine's invariant.
 			at := lastPopped + Time(rng.Intn(100))
-			h.Push(&event{at: at, seq: seq})
+			h.Push(at, ord, &event{})
 		} else {
-			e := h.Pop()
+			e, _ := h.Pop()
 			if e.at < lastPopped {
 				t.Fatalf("pop went backwards: %v after %v", e.at, lastPopped)
 			}
@@ -64,93 +63,104 @@ func TestHeapInterleavedPushPop(t *testing.T) {
 		}
 	}
 	for h.Len() > 0 {
-		popped = append(popped, h.Pop().at)
+		e, _ := h.Pop()
+		popped = append(popped, e.at)
 	}
 	if !sort.SliceIsSorted(popped, func(i, j int) bool { return popped[i] < popped[j] }) {
 		t.Fatal("popped sequence not sorted")
 	}
 }
 
+// TestHeapBandOrdering: at equal timestamps every delivery key sorts before
+// every local-band key, deliveries sort by (src, sendSeq), and the local
+// band bit survives the largest allocation counters.
+func TestHeapBandOrdering(t *testing.T) {
+	var h eventHeap
+	h.Push(10, deliverOrd(4096, 1), &event{})
+	h.Push(10, ordLocalBand|1, &event{}) // local event, earliest counter
+	h.Push(10, deliverOrd(0, 7), &event{})
+	h.Push(10, deliverOrd(0, 2), &event{})
+	want := []uint64{deliverOrd(0, 2), deliverOrd(0, 7), deliverOrd(4096, 1), ordLocalBand | 1}
+	for i, w := range want {
+		e, ok := h.Pop()
+		if !ok || e.ord != w {
+			t.Fatalf("pop %d: got ord %#x, want %#x", i, e.ord, w)
+		}
+	}
+}
+
 // binaryHeap is the pre-optimization 2-ary event heap, kept here as the
-// reference implementation: because (at, seq) is a total order, any correct
+// reference implementation: because (at, ord) is a total order, any correct
 // min-heap must pop the exact same sequence, so the 4-ary production heap is
 // property-tested against it below.
 type binaryHeap struct {
-	ev []*event
+	e []heapEntry
 }
 
-func (h *binaryHeap) less(i, j int) bool {
-	a, b := h.ev[i], h.ev[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (h *binaryHeap) Push(e *event) {
-	h.ev = append(h.ev, e)
-	i := len(h.ev) - 1
+func (h *binaryHeap) Push(at Time, ord uint64) {
+	h.e = append(h.e, heapEntry{at: at, ord: ord})
+	i := len(h.e) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		if !h.e[i].before(h.e[parent]) {
 			break
 		}
-		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		h.e[i], h.e[parent] = h.e[parent], h.e[i]
 		i = parent
 	}
 }
 
-func (h *binaryHeap) Pop() *event {
-	n := len(h.ev)
+func (h *binaryHeap) Pop() (heapEntry, bool) {
+	n := len(h.e)
 	if n == 0 {
-		return nil
+		return heapEntry{}, false
 	}
-	top := h.ev[0]
-	h.ev[0] = h.ev[n-1]
-	h.ev[n-1] = nil
-	h.ev = h.ev[:n-1]
+	top := h.e[0]
+	h.e[0] = h.e[n-1]
+	h.e = h.e[:n-1]
 	i := 0
 	for {
 		left, right := 2*i+1, 2*i+2
 		smallest := i
-		if left < len(h.ev) && h.less(left, smallest) {
+		if left < len(h.e) && h.e[left].before(h.e[smallest]) {
 			smallest = left
 		}
-		if right < len(h.ev) && h.less(right, smallest) {
+		if right < len(h.e) && h.e[right].before(h.e[smallest]) {
 			smallest = right
 		}
 		if smallest == i {
-			return top
+			return top, true
 		}
-		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		h.e[i], h.e[smallest] = h.e[smallest], h.e[i]
 		i = smallest
 	}
 }
 
 // TestQuaternaryMatchesBinaryHeap: on random inputs — with deliberately many
 // duplicate timestamps, and interleaved pushes and pops — the 4-ary heap
-// pops events in exactly the (at, seq) order of the reference binary heap.
+// pops entries in exactly the (at, ord) order of the reference binary heap.
 func TestQuaternaryMatchesBinaryHeap(t *testing.T) {
 	f := func(times []int16, seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		var quad eventHeap
 		var bin binaryHeap
-		var seq uint64
+		var ord uint64
 		push := func(raw int16) {
-			seq++
+			ord++
 			tm := Time(raw % 64) // force heavy timestamp collisions
 			if tm < 0 {
 				tm = -tm
 			}
-			quad.Push(&event{at: tm, seq: seq})
-			bin.Push(&event{at: tm, seq: seq})
+			quad.Push(tm, ord, &event{})
+			bin.Push(tm, ord)
 		}
 		checkPop := func() bool {
-			q, b := quad.Pop(), bin.Pop()
-			if q == nil || b == nil {
-				return q == nil && b == nil
+			q, qok := quad.Pop()
+			b, bok := bin.Pop()
+			if qok != bok {
+				return false
 			}
-			return q.at == b.at && q.seq == b.seq
+			return q.at == b.at && q.ord == b.ord
 		}
 		for _, raw := range times {
 			push(raw)
@@ -160,7 +170,7 @@ func TestQuaternaryMatchesBinaryHeap(t *testing.T) {
 				}
 			}
 		}
-		for quad.Len() > 0 || len(bin.ev) > 0 {
+		for quad.Len() > 0 || len(bin.e) > 0 {
 			if !checkPop() {
 				return false
 			}
@@ -174,13 +184,16 @@ func TestQuaternaryMatchesBinaryHeap(t *testing.T) {
 
 func TestHeapPeek(t *testing.T) {
 	var h eventHeap
-	if h.Peek() != nil || h.Pop() != nil {
-		t.Fatal("empty heap should peek/pop nil")
+	if _, ok := h.PeekTime(); ok {
+		t.Fatal("empty heap should have no peek time")
 	}
-	h.Push(&event{at: 5, seq: 1})
-	h.Push(&event{at: 3, seq: 2})
-	if h.Peek().at != 3 {
-		t.Fatalf("peek = %v", h.Peek().at)
+	if _, ok := h.Pop(); ok {
+		t.Fatal("empty heap should pop nothing")
+	}
+	h.Push(5, 1, &event{})
+	h.Push(3, 2, &event{})
+	if at, ok := h.PeekTime(); !ok || at != 3 {
+		t.Fatalf("peek = %v, %v", at, ok)
 	}
 	if h.Len() != 2 {
 		t.Fatalf("len = %d", h.Len())

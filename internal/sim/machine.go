@@ -13,12 +13,21 @@ import (
 // Engine API (internal/bench/determinism_test.go guards this).
 
 // NumPeers returns the machine size. It implements substrate.Endpoint.
-func (p *Proc) NumPeers() int { return len(p.eng.procs) }
+func (p *Proc) NumPeers() int { return len(p.sh.eng.procs) }
 
-// Rand returns the engine's deterministic random source: every endpoint
-// shares the one seeded stream, which is safe because at most one processor
-// executes at any instant, and is required for reproducible runs.
-func (p *Proc) Rand() *rand.Rand { return p.eng.rng }
+// Rand returns this processor's deterministic random stream, seeded
+// Config.Seed + ID — the same per-endpoint convention the real-concurrency
+// backend uses. Each processor owning its own stream (rather than all of
+// them sharing the engine's) is what keeps policy randomness byte-identical
+// across shard counts: a stream is consumed only by its processor's own
+// execution, so its draw sequence cannot depend on how processors are
+// partitioned.
+func (p *Proc) Rand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.sh.eng.cfg.Seed + int64(p.id)))
+	}
+	return p.rng
+}
 
 var _ substrate.Endpoint = (*Proc)(nil)
 

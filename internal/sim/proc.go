@@ -1,13 +1,16 @@
 package sim
 
-import "errors"
+import (
+	"errors"
+	"math/rand"
+)
 
 var errKilled = errors.New("sim: processor killed")
 
 // Proc is a simulated processor. A Proc's body function runs on its own
-// goroutine but only ever while the engine has handed it control, so bodies
-// may freely touch engine state (schedule events, send messages) without
-// synchronization.
+// goroutine but only ever while its owning shard has handed it control, so
+// bodies may freely touch their shard's state (schedule events, send
+// messages) without synchronization.
 //
 // All methods that advance virtual time (Advance, Send, Recv*, Wait*) must be
 // called from the Proc's own body; calling them from another goroutine or
@@ -15,10 +18,10 @@ var errKilled = errors.New("sim: processor killed")
 type Proc struct {
 	id   int
 	name string
-	eng  *Engine
+	sh   *shard
 
-	resume chan struct{} // engine -> proc: you have control
-	parked chan struct{} // proc -> engine: I blocked or finished
+	resume chan struct{} // shard -> proc: you have control
+	parked chan struct{} // proc -> shard: I blocked or finished
 
 	blocked    bool
 	waitingMsg bool
@@ -26,6 +29,9 @@ type Proc struct {
 	killed     bool
 	done       bool
 	finishedAt Time
+
+	sendSeq uint64     // per-processor message send counter (ordering band 1)
+	rng     *rand.Rand // lazily built deterministic per-processor stream
 
 	inbox msgRing
 	acct  Account
@@ -38,10 +44,10 @@ func (p *Proc) ID() int { return p.id }
 func (p *Proc) Name() string { return p.name }
 
 // Engine returns the owning engine.
-func (p *Proc) Engine() *Engine { return p.eng }
+func (p *Proc) Engine() *Engine { return p.sh.eng }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.eng.now }
+// Now returns the current virtual time on the processor's shard.
+func (p *Proc) Now() Time { return p.sh.now }
 
 // Account returns the processor's time ledger. The pointer stays valid for
 // the lifetime of the simulation; read it after Run for final figures.
@@ -52,7 +58,7 @@ func (p *Proc) Account() *Account { return &p.acct }
 // callback overhead); prefer Advance for real time consumption.
 func (p *Proc) Charge(cat Category, d Time) { p.acct[cat] += d }
 
-// yield returns control to the engine and blocks until reawakened.
+// yield returns control to the shard and blocks until reawakened.
 func (p *Proc) yield() {
 	p.parked <- struct{}{}
 	<-p.resume
@@ -65,22 +71,12 @@ func (p *Proc) yield() {
 // The caller must have arranged for a wake-up (timer event or message
 // delivery) before calling park.
 func (p *Proc) park(cat Category) {
-	start := p.eng.now
+	start := p.sh.now
 	p.blocked = true
 	p.yield()
 	p.blocked = false
-	p.acct[cat] += p.eng.now - start
-	p.eng.recordSpan(p.id, cat, start, p.eng.now)
-}
-
-// wakeIf resumes the processor if it is still in the wait generation gen.
-// Stale timers (superseded by a message arrival or a newer wait) fire as
-// no-ops.
-func (p *Proc) wakeIf(gen uint64) {
-	if p.done || !p.blocked || p.waitGen != gen {
-		return
-	}
-	p.eng.transfer(p)
+	p.acct[cat] += p.sh.now - start
+	p.sh.recordSpan(p.id, cat, start, p.sh.now)
 }
 
 // Advance consumes d of CPU time, attributed to cat. It models computation
@@ -91,7 +87,7 @@ func (p *Proc) Advance(d Time, cat Category) {
 		return
 	}
 	p.waitGen++
-	p.eng.atWake(d, p, p.waitGen)
+	p.sh.atWake(d, p, p.waitGen)
 	p.park(cat)
 }
 
@@ -100,18 +96,12 @@ func (p *Proc) Advance(d Time, cat Category) {
 // (normally CatMessaging). Delivery is asynchronous and FIFO per (src,dst).
 func (p *Proc) Send(m *Msg, cat Category) {
 	m.Src = p.id
-	m.SentAt = p.eng.now
-	if o := p.eng.cfg.Network.SendCPU; o > 0 {
+	m.SentAt = p.sh.now
+	if o := p.sh.net.cfg.SendCPU; o > 0 {
 		p.Advance(o, cat)
 	}
-	p.eng.post(m)
-}
-
-// post injects m into the network from engine context, charging no CPU.
-// It is used by Send after overhead accounting and by engine-side services.
-func (e *Engine) post(m *Msg) {
-	arrival := e.net.arrivalTime(e.now, m.Src, m.Dst, m.Size)
-	e.atDeliver(arrival-e.now, m)
+	p.sendSeq++
+	p.sh.post(m, p.sendSeq)
 }
 
 // InboxLen returns the number of queued, undelivered-to-application messages.
@@ -134,7 +124,7 @@ func (p *Proc) TryRecv(cat Category) *Msg {
 		return nil
 	}
 	m := p.inbox.popFront()
-	if o := p.eng.cfg.Network.RecvCPU; o > 0 {
+	if o := p.sh.net.cfg.RecvCPU; o > 0 {
 		p.Advance(o, cat)
 	}
 	return m
@@ -148,7 +138,7 @@ func (p *Proc) TryRecvTag(tag int, cat Category) *Msg {
 	for i := 0; i < p.inbox.Len(); i++ {
 		if p.inbox.at(i).Tag == tag {
 			m := p.inbox.removeAt(i)
-			if o := p.eng.cfg.Network.RecvCPU; o > 0 {
+			if o := p.sh.net.cfg.RecvCPU; o > 0 {
 				p.Advance(o, cat)
 			}
 			return m
@@ -179,10 +169,10 @@ func (p *Proc) WaitMsg(cat Category) {
 // WaitMsgFor blocks until a message is queued or d elapses, attributing the
 // wait to cat. It reports whether a message is available.
 func (p *Proc) WaitMsgFor(d Time, cat Category) bool {
-	deadline := p.eng.now + d
-	for p.inbox.Len() == 0 && p.eng.now < deadline {
+	deadline := p.sh.now + d
+	for p.inbox.Len() == 0 && p.sh.now < deadline {
 		p.waitGen++
-		p.eng.atWake(deadline-p.eng.now, p, p.waitGen)
+		p.sh.atWake(deadline-p.sh.now, p, p.waitGen)
 		p.waitingMsg = true
 		p.park(cat)
 		p.waitingMsg = false

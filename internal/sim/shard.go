@@ -1,0 +1,237 @@
+package sim
+
+// shard owns one partition of the simulated processors: their event heap,
+// event free list, local virtual clock, per-(src,dst) FIFO state for
+// messages *sent* by its processors, span buffer, and outgoing cross-shard
+// mailboxes. Processors are assigned round-robin (proc i lives on shard
+// i mod S), which spreads the figure workloads' heavy low-index units
+// across shards.
+//
+// Everything a shard touches while a window executes is owned by that shard
+// — the engine-level structures (procs slice, config, lookahead) are
+// read-only during Run. Shards communicate only through the outboxes, which
+// the coordinator drains between windows while every worker is parked at
+// the barrier.
+type shard struct {
+	eng *Engine
+	id  int
+
+	now   Time
+	heap  eventHeap
+	fired uint64 // events executed (telemetry for perfbench's ns/event)
+
+	free     *event // recycled fired events (intrusive list via event.next)
+	allocSeq uint64 // local-band ordering counter (see event.go)
+
+	running *Proc
+	net     *network // FIFO per (src,dst) for locally-sourced messages
+
+	// out[d] buffers deliveries destined for shard d's processors during
+	// the current window; the coordinator moves them into d's heap at the
+	// barrier. Entries are reused across windows (zero-alloc steady state).
+	out [][]mailEntry
+
+	spans []Span
+
+	err     error // first processor panic on this shard
+	stopped bool  // local view: abort the current window after this event
+
+	// Barrier channels (sharded mode only): the coordinator sends the
+	// window end time, the worker replies when the window is drained.
+	start chan Time
+	done  chan struct{}
+}
+
+// mailEntry is one cross-shard message delivery waiting at the window
+// barrier: the precomputed arrival time and band-1 ordering key plus the
+// message itself. The destination shard turns it into a heap event at the
+// exchange, drawing from its own free list.
+type mailEntry struct {
+	at  Time
+	ord uint64
+	m   *Msg
+}
+
+func newShard(e *Engine, id, nShards int) *shard {
+	s := &shard{
+		eng:  e,
+		id:   id,
+		heap: eventHeap{e: make([]heapEntry, 0, 1024)},
+		net:  newNetwork(e.cfg.Network),
+		out:  make([][]mailEntry, nShards),
+	}
+	return s
+}
+
+// alloc takes an event from the free list, or heap-allocates when the list
+// is empty (cold start and queue-depth high-water marks only).
+func (s *shard) alloc() *event {
+	ev := s.free
+	if ev == nil {
+		ev = &event{}
+	} else {
+		s.free = ev.next
+		ev.next = nil
+	}
+	return ev
+}
+
+// release returns a fired event to the free list, dropping its operand
+// references so recycled events retain nothing.
+func (s *shard) release(ev *event) {
+	*ev = event{next: s.free}
+	s.free = ev
+}
+
+// ordNext returns the next local-band ordering key (wakes, transfers,
+// callbacks — events that never cross a shard boundary).
+func (s *shard) ordNext() uint64 {
+	s.allocSeq++
+	return ordLocalBand | s.allocSeq
+}
+
+// at schedules fn to run d from now on this shard's event loop.
+func (s *shard) at(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	ev := s.alloc()
+	ev.kind = evFunc
+	ev.fn = fn
+	s.heap.Push(s.now+d, s.ordNext(), ev)
+}
+
+// atWake schedules p.wakeIf(gen) at now+d without allocating a closure.
+func (s *shard) atWake(d Time, p *Proc, gen uint64) {
+	if d < 0 {
+		d = 0
+	}
+	ev := s.alloc()
+	ev.kind = evWake
+	ev.proc = p
+	ev.gen = gen
+	s.heap.Push(s.now+d, s.ordNext(), ev)
+}
+
+// atTransfer schedules a control handoff to p at now+d.
+func (s *shard) atTransfer(d Time, p *Proc) {
+	if d < 0 {
+		d = 0
+	}
+	ev := s.alloc()
+	ev.kind = evTransfer
+	ev.proc = p
+	s.heap.Push(s.now+d, s.ordNext(), ev)
+}
+
+// post injects m into the network from shard context, charging no CPU. The
+// sender has already stamped Src/SentAt and consumed its send overhead.
+// Local deliveries go straight onto this shard's heap; cross-shard
+// deliveries wait in the outbox until the window barrier. Both carry the
+// delivery-band (src, sendSeq) ordering key, so where the destination lives
+// does not change when — or in what order — the delivery fires.
+func (s *shard) post(m *Msg, sendSeq uint64) {
+	arrival := s.net.arrivalTime(s.now, m.Src, m.Dst, m.Size)
+	ord := deliverOrd(m.Src, sendSeq)
+	d := s.eng.shardOf(m.Dst)
+	if d == s.id {
+		ev := s.alloc()
+		ev.kind = evDeliver
+		ev.msg = m
+		s.heap.Push(arrival, ord, ev)
+		return
+	}
+	s.out[d] = append(s.out[d], mailEntry{at: arrival, ord: ord, m: m})
+}
+
+// deliver appends m to its destination inbox and wakes the destination if
+// it is blocked waiting for a message.
+func (s *shard) deliver(m *Msg) {
+	p := s.eng.procs[m.Dst]
+	m.ArrivedAt = s.now
+	p.inbox.push(m)
+	if p.blocked && p.waitingMsg {
+		p.waitGen++ // invalidate any pending wait timeout
+		s.transfer(p)
+	}
+}
+
+// transfer hands this shard's thread of control to p until p blocks or
+// finishes. It must only be called from the shard's event loop (or the
+// engine's teardown, after all workers have quiesced); processors never
+// call it directly.
+func (s *shard) transfer(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := s.running
+	s.running = p
+	p.resume <- struct{}{}
+	<-p.parked
+	s.running = prev
+}
+
+// runWindow drains this shard's heap up to (excluding) end. The conservative
+// lookahead guarantees no cross-shard delivery can land inside the current
+// window, so the pop order below — (at, ord) over an exclusively-owned heap
+// — is the shard's one and only event order, independent of S.
+//
+// The wake and deliver arms are inlined here rather than dispatched through
+// a helper: together they are >95% of fired events, and keeping them in the
+// loop body keeps the whole hot path — pop, clock bump, dispatch, free-list
+// release — in one frame.
+func (s *shard) runWindow(end Time) {
+	for !s.stopped && s.err == nil {
+		n := len(s.heap.e)
+		if n == 0 {
+			return
+		}
+		top := s.heap.e[0]
+		if top.at >= end {
+			return
+		}
+		s.heap.e[0] = s.heap.e[n-1]
+		s.heap.e[n-1] = heapEntry{}
+		s.heap.e = s.heap.e[:n-1]
+		s.heap.siftDown(0)
+		if top.at < s.now {
+			panic("sim: event scheduled in the past")
+		}
+		s.now = top.at
+		s.fired++
+		ev := top.ev
+		switch ev.kind {
+		case evWake:
+			p := ev.proc
+			if !p.done && p.blocked && p.waitGen == ev.gen {
+				s.transfer(p)
+			}
+		case evDeliver:
+			s.deliver(ev.msg)
+		case evTransfer:
+			s.transfer(ev.proc)
+		default:
+			ev.fn()
+		}
+		s.release(ev)
+	}
+}
+
+// work is the persistent worker loop of one shard in sharded mode: execute
+// each window the coordinator hands out, then park at the barrier. The
+// loop exits when the coordinator closes the start channel.
+func (s *shard) work() {
+	for end := range s.start {
+		s.runWindow(end)
+		s.done <- struct{}{}
+	}
+}
+
+// recordSpan appends a span when tracing is on. Zero-length spans are
+// dropped.
+func (s *shard) recordSpan(proc int, cat Category, from, to Time) {
+	if !s.eng.tracing || to == from {
+		return
+	}
+	s.spans = append(s.spans, Span{Proc: proc, Cat: cat, From: from, To: to})
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Span is one contiguous interval of a processor's time attributed to a
@@ -14,30 +15,51 @@ type Span struct {
 	From, To Time
 }
 
-// spanPrealloc is the span capacity reserved when tracing is enabled, so
-// the first tens of thousands of spans record without a single growth copy.
+// spanPrealloc is the total span capacity reserved when tracing is enabled
+// (split across shards), so the first tens of thousands of spans record
+// without a single growth copy.
 const spanPrealloc = 1 << 16
 
 // EnableTracing starts recording spans. Tracing is off by default: a full
 // benchmark run produces millions of spans, so enable it only for runs you
-// intend to visualize.
+// intend to visualize. Call it before Run.
 func (e *Engine) EnableTracing() {
 	e.tracing = true
-	if e.spans == nil {
-		e.spans = make([]Span, 0, spanPrealloc)
+	per := spanPrealloc / len(e.shards)
+	for _, s := range e.shards {
+		if s.spans == nil {
+			s.spans = make([]Span, 0, per)
+		}
 	}
 }
 
-// Spans returns the recorded spans in chronological order of completion.
-func (e *Engine) Spans() []Span { return e.spans }
-
-// recordSpan appends a span when tracing is on. Zero-length spans are
-// dropped.
-func (e *Engine) recordSpan(proc int, cat Category, from, to Time) {
-	if !e.tracing || to == from {
-		return
+// Spans returns the recorded spans in canonical order: ascending completion
+// time, ties broken by processor ID. Each shard records its processors'
+// spans into its own buffer, so the canonical sort is what makes the merged
+// result independent of the shard count — and it is applied to serial runs
+// too, so a one-shard trace is byte-for-byte the same file. (Within one
+// processor span completions strictly increase, so (To, Proc) is unique and
+// the order total.) Call it after Run.
+func (e *Engine) Spans() []Span {
+	if !e.spansMerged {
+		n := 0
+		for _, s := range e.shards {
+			n += len(s.spans)
+		}
+		e.spans = make([]Span, 0, n)
+		for _, s := range e.shards {
+			e.spans = append(e.spans, s.spans...)
+		}
+		sort.Slice(e.spans, func(i, j int) bool {
+			a, b := e.spans[i], e.spans[j]
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			return a.Proc < b.Proc
+		})
+		e.spansMerged = true
 	}
-	e.spans = append(e.spans, Span{Proc: proc, Cat: cat, From: from, To: to})
+	return e.spans
 }
 
 // WriteSpansCSV emits the trace as CSV (proc, category, from_s, to_s).
@@ -45,7 +67,7 @@ func (e *Engine) WriteSpansCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "proc,category,from,to"); err != nil {
 		return err
 	}
-	for _, s := range e.spans {
+	for _, s := range e.Spans() {
 		if _, err := fmt.Fprintf(w, "%d,%s,%.6f,%.6f\n", s.Proc, s.Cat, s.From.Seconds(), s.To.Seconds()); err != nil {
 			return err
 		}

@@ -43,11 +43,11 @@ type Endpoint interface {
 	// NumPeers returns the machine size (total number of endpoints,
 	// including this one).
 	NumPeers() int
-	// Rand returns a random source usable from this endpoint's context. The
-	// simulator hands every endpoint the engine's single seeded stream (so
-	// runs stay deterministic); the real-time machine hands each endpoint
-	// its own seeded stream (so goroutines never share unsynchronized
-	// state).
+	// Rand returns a random source usable from this endpoint's context.
+	// Both machines hand each endpoint its own stream seeded seed+procID —
+	// never a shared one — so goroutines never share unsynchronized state
+	// and a simulation's random choices do not depend on how processors
+	// are partitioned across event-loop shards.
 	Rand() *rand.Rand
 
 	// Account returns the processor's time ledger. The pointer stays valid

@@ -28,6 +28,23 @@ import (
 // DefaultJobs is the default worker-pool size: one worker per available CPU.
 func DefaultJobs() int { return runtime.GOMAXPROCS(0) }
 
+// JobsFor is the default worker-pool size when each job is itself internally
+// parallel — e.g. a simulation running on `shards` event-loop shards. The
+// two levels multiply (jobs sweeps × shards goroutines each all want a CPU),
+// so the pool is clamped to keep the product near the CPU count instead of
+// oversubscribing it: max(1, DefaultJobs()/shards). Callers pass the result
+// to Map/Each when the user left the job count unset.
+func JobsFor(shards int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	j := DefaultJobs() / shards
+	if j < 1 {
+		j = 1
+	}
+	return j
+}
+
 // Map runs fn(0), ..., fn(n-1) on at most jobs concurrent workers and
 // returns the n results in index order. jobs < 1 selects DefaultJobs().
 // On failure it returns the error of the lowest failing index, wrapped with
