@@ -7,6 +7,7 @@
 //
 //	chaosbench [-system prema-implicit] [-figs 3,4,5,6] \
 //	           [-procs 32] [-units-per-proc 32] [-shards S] \
+//	           [-partition roundrobin|blocked|loaded] \
 //	           [-fault-plan "drop=0.2,dup=0.1"] [-fault-seed 1] \
 //	           [-rto 50ms] [-backend sim|real] [-timescale 1e-2] [-spin] \
 //	           [-trace trace.json] [-metrics metrics.txt]
@@ -56,6 +57,7 @@ func main() {
 	procs := flag.Int("procs", 32, "simulated processors")
 	upp := flag.Int("units-per-proc", 32, "work units per processor")
 	shards := flag.Int("shards", 1, "simulator backend: parallel event-loop shards per simulation (output is identical for any value)")
+	partition := flag.String("partition", "roundrobin", "simulator backend: processor-to-shard placement strategy: roundrobin, blocked, or loaded (output is identical for any value)")
 	planS := flag.String("fault-plan", "drop=0.2,dup=0.1", "fault plan (faulty syntax; \"none\" = clean)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
 	rto := flag.Duration("rto", 50*time.Millisecond, "reliable-mode initial retransmission timeout")
@@ -95,6 +97,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chaosbench: -shards applies to the simulator backend only; use -backend=sim\n")
 		os.Exit(2)
 	}
+	if !bench.ValidPartition(*partition) {
+		fmt.Fprintf(os.Stderr, "chaosbench: -partition must be one of %v (got %q)\n", bench.PartitionStrategies, *partition)
+		os.Exit(2)
+	}
 	plan, err := faulty.ParsePlan(*planS)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaosbench:", err)
@@ -128,6 +134,7 @@ func main() {
 	for _, spec := range specs {
 		w := bench.PaperWorkload(spec, *procs, *upp)
 		w.Shards = *shards
+		w.Partition = *partition
 		fmt.Printf("=== Figure %d scenario: imbalance %.0f%%, heavy = %.1fx light (procs=%d, units=%d, backend=%s) ===\n",
 			spec.ID, spec.Imbalance*100, spec.Ratio, w.Procs, w.Units, *backend)
 		sink.fig = spec.ID

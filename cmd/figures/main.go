@@ -4,7 +4,8 @@
 // Usage:
 //
 //	figures [-fig N] [-procs P] [-units-per-proc U] [-stride S] [-jobs J] \
-//	        [-shards S] [-csv DIR] [-trace trace.json] [-metrics metrics.txt]
+//	        [-shards S] [-partition roundrobin|blocked|loaded] [-csv DIR] \
+//	        [-trace trace.json] [-metrics metrics.txt]
 //
 // -trace and -metrics re-run the PREMA systems of each selected figure with
 // the internal/trace recorder attached (observational — same makespans as
@@ -50,6 +51,7 @@ func main() {
 	stride := flag.Int("stride", 8, "per-processor breakdown sampling stride (0 = summaries only)")
 	jobs := flag.Int("jobs", 0, "max simulations in flight (0 = auto: one per CPU divided by -shards; 1 = serial)")
 	shards := flag.Int("shards", 1, "parallel event-loop shards per simulation (1 = serial engine; output is identical for any value)")
+	partition := flag.String("partition", "roundrobin", "processor-to-shard placement strategy: roundrobin, blocked, or loaded (output is identical for any value)")
 	csvDir := flag.String("csv", "", "directory to write per-system breakdown CSVs into (plots)")
 	traceOut := flag.String("trace", "", "record the PREMA systems and write Chrome trace JSON per figure+system (base path; figN.system is inserted before the extension)")
 	metricsOut := flag.String("metrics", "", "write aggregated trace metrics per figure+system (base path, same suffixing; .json = JSON)")
@@ -76,6 +78,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "figures: -shards must be >= 1 (got %d)\n", *shards)
 		os.Exit(2)
 	}
+	if !bench.ValidPartition(*partition) {
+		fmt.Fprintf(os.Stderr, "figures: -partition must be one of %v (got %q)\n", bench.PartitionStrategies, *partition)
+		os.Exit(2)
+	}
 	if *fig == 1 {
 		fmt.Print(taxonomy)
 		return
@@ -91,7 +97,7 @@ func main() {
 		}
 		specs = []bench.FigureSpec{s}
 	}
-	runs, err := bench.RunFigures(specs, *procs, *upp, *jobs, *shards)
+	runs, err := bench.RunFigures(specs, *procs, *upp, *jobs, *shards, *partition)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -110,7 +116,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "figures: -trace-ring must be >= 1 (got %d)\n", *traceRing)
 			os.Exit(2)
 		}
-		if err := writeTraces(specs, *procs, *upp, *jobs, *shards, *traceRing, *traceOut, *metricsOut); err != nil {
+		if err := writeTraces(specs, *procs, *upp, *jobs, *shards, *traceRing, *partition, *traceOut, *metricsOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -125,7 +131,7 @@ var tracedSystems = []string{"none", "prema-explicit", "prema-implicit"}
 // attached and exports one trace/metrics file per (figure, system). Tracing
 // is observational, so these runs report the same makespans as the untraced
 // sweep above.
-func writeTraces(specs []bench.FigureSpec, procs, upp, jobs, shards, ring int, traceOut, metricsOut string) error {
+func writeTraces(specs []bench.FigureSpec, procs, upp, jobs, shards, ring int, partition, traceOut, metricsOut string) error {
 	type job struct {
 		spec bench.FigureSpec
 		name string
@@ -147,6 +153,7 @@ func writeTraces(specs []bench.FigureSpec, procs, upp, jobs, shards, ring int, t
 		col := trace.NewCollector(ring)
 		w := bench.PaperWorkload(js[i].spec, procs, upp)
 		w.Shards = shards
+		w.Partition = partition
 		r, err := bench.RunSystemTraced(js[i].name, w, col)
 		return traced{col, r}, err
 	})

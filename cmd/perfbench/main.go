@@ -1,14 +1,16 @@
 // Command perfbench measures the simulator's host performance and the sweep
 // runner's parallel speedup, and writes the numbers to a JSON file (the
-// repository's BENCH trajectory: BENCH_PR6.json at the repo root).
+// repository's BENCH trajectory: BENCH_PR7.json at the repo root).
 //
 // Usage:
 //
-//	perfbench [-out BENCH_PR6.json] [-procs 128] [-units-per-proc 128] \
-//	          [-jobs J] [-events 500000] [-skip-sweep] [-skip-trace] \
-//	          [-skip-shards] [-skip-large] [-large-procs 1024] [-large-upp 16]
+//	perfbench [-out BENCH_PR7.json] [-procs 128] [-units-per-proc 128] \
+//	          [-jobs J] [-events 500000] [-partition loaded] \
+//	          [-skip-sweep] [-skip-trace] [-skip-shards] [-skip-windows] \
+//	          [-skip-scale] [-skip-large] [-scale-procs 4096] \
+//	          [-scale-objects 256] [-large-procs 1024] [-large-upp 16]
 //
-// It reports four layers, matching the levels of the performance work:
+// It reports six layers, matching the levels of the performance work:
 //
 //   - engine: microbenchmarks of the discrete-event core — ns/event,
 //     allocs/event and events/sec for the Advance hot path, plus the
@@ -22,17 +24,34 @@
 //     campaign (24 independent simulations) run serially and with -jobs
 //     workers, with a byte-identity cross-check between the two;
 //   - shards: the sharded engine axis — one irregular message-passing
-//     workload timed at S ∈ {1, 2, 4} event-loop shards (ns/event, speedup
-//     vs serial, identical-makespan cross-check), plus a large-scale figure
-//     scenario (-large-procs, default 1024 processors) run sharded and
-//     cross-checked byte-for-byte against the serial engine. Shard speedup
-//     needs spare CPUs: on a single-CPU host expect S > 1 to lose to the
-//     serial engine on wall clock while still matching its output exactly.
+//     workload timed at S ∈ {1, 2, 4, 8} event-loop shards (ns/event,
+//     speedup vs serial, per-shard event imbalance, barrier rounds,
+//     identical-makespan cross-check), plus a large-scale figure scenario
+//     (-large-procs, default 1024 processors — the full PREMA stack's
+//     status messaging grows superlinearly with the processor count, so
+//     the 4096-processor point lives in the engine-level scale section)
+//     run sharded with the -partition strategy and cross-checked
+//     byte-for-byte against the serial engine;
+//   - windows: the coordination-round ledger — one figure scenario run
+//     sharded with Config.FixedWindows on (PR 6's one-lookahead-per-round
+//     protocol) and off (per-destination lookahead + adaptive batching),
+//     reporting the barrier-round reduction and checking byte-identity;
+//   - scale: the scale push — an engine-level workload of -scale-procs
+//     processors × -scale-objects objects each (default 4096 × 256 ≈ 1M
+//     objects) at S ∈ {1, 2, 4, 8}, recording ns/event, speedup, and the
+//     max completed scenario size.
+//
+// The host section also records how the auto jobs clamp resolves jobs ×
+// shards against GOMAXPROCS for each shard count used here, so the ledger
+// shows the parallelism budget the numbers were taken under. Shard speedup
+// needs spare CPUs: on a single-CPU host expect S > 1 to lose to the serial
+// engine on wall clock while still matching its output exactly.
 //
 // The default scale (-procs 128 -units-per-proc 128) is the paper's; use a
 // smaller scale for a quick look. Expect the full-scale run to take several
-// minutes per sweep pass. Stray positional arguments and invalid flag values
-// exit with status 2, matching the other commands.
+// minutes per sweep pass plus several minutes per large-scenario leg. Stray
+// positional arguments and invalid flag values exit with status 2, matching
+// the other commands.
 package main
 
 import (
@@ -52,33 +71,53 @@ import (
 
 // Report is the schema of the emitted JSON.
 type Report struct {
-	Bench  string     `json:"bench"`
-	Host   HostInfo   `json:"host"`
-	Eng    EngineInfo `json:"engine"`
-	Trace  *TraceInfo `json:"trace,omitempty"`
-	Sweep  *SweepInfo `json:"sweep,omitempty"`
-	Shards *ShardInfo `json:"shards,omitempty"`
+	Bench   string      `json:"bench"`
+	Host    HostInfo    `json:"host"`
+	Eng     EngineInfo  `json:"engine"`
+	Trace   *TraceInfo  `json:"trace,omitempty"`
+	Sweep   *SweepInfo  `json:"sweep,omitempty"`
+	Shards  *ShardInfo  `json:"shards,omitempty"`
+	Windows *WindowInfo `json:"windows,omitempty"`
+	Scale   *ScaleInfo  `json:"scale,omitempty"`
 }
 
-// HostInfo records the measurement platform.
+// ClampInfo records how the auto jobs clamp resolves the jobs × shards
+// product for one shard count: sweep.JobsFor keeps auto_jobs × shards near
+// GOMAXPROCS instead of oversubscribing it.
+type ClampInfo struct {
+	Shards      int `json:"shards"`
+	AutoJobs    int `json:"auto_jobs"`
+	JobsXShards int `json:"jobs_x_shards"`
+}
+
+// HostInfo records the measurement platform and its parallelism budget.
 type HostInfo struct {
-	GoVersion  string `json:"go_version"`
-	GOOS       string `json:"goos"`
-	GOARCH     string `json:"goarch"`
-	NumCPU     int    `json:"num_cpu"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	NumCPU     int         `json:"num_cpu"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	JobsClamp  []ClampInfo `json:"jobs_clamp"`
 }
 
 // EngineInfo holds the hot-path microbenchmark results. Alloc counts are
 // steady-state (measured after a warm-up that fills the event free list),
 // so they can be fractional and should be ~0 after the PR2 optimizations.
+//
+// ns_per_event is the uncontended Advance loop, which since PR 7 rides the
+// in-window fast path (no heap, no goroutine handoff). ns_per_event_queued
+// forces the full heap + park/transfer path by interleaving two processors
+// whose wakes always tie, so it tracks the cost the fast path skips — and
+// guards that the queued path itself has not regressed.
 type EngineInfo struct {
-	NsPerEvent        float64 `json:"ns_per_event"`
-	AllocsPerEvent    float64 `json:"allocs_per_event"`
-	BytesPerEvent     float64 `json:"bytes_per_event"`
-	EventsPerSec      float64 `json:"events_per_sec"`
-	AMRoundTripNs     float64 `json:"am_roundtrip_ns"`
-	AMRoundTripAllocs float64 `json:"am_roundtrip_allocs"`
+	NsPerEvent          float64 `json:"ns_per_event"`
+	AllocsPerEvent      float64 `json:"allocs_per_event"`
+	BytesPerEvent       float64 `json:"bytes_per_event"`
+	EventsPerSec        float64 `json:"events_per_sec"`
+	NsPerEventQueued    float64 `json:"ns_per_event_queued"`
+	AllocsPerEventQueue float64 `json:"allocs_per_event_queued"`
+	AMRoundTripNs       float64 `json:"am_roundtrip_ns"`
+	AMRoundTripAllocs   float64 `json:"am_roundtrip_allocs"`
 }
 
 // TraceScenario is one figure scenario's tracing-on vs tracing-off
@@ -107,28 +146,40 @@ type TraceInfo struct {
 	MaxOverheadPct float64         `json:"max_overhead_pct"`
 }
 
-// ShardPoint is one shard count's timing of the mesh workload.
+// ShardPoint is one shard count's timing of a scaling workload, with the
+// shard-level telemetry the partition quality shows up in: per-shard event
+// counts, their max/mean imbalance ratio, and the number of window
+// coordination rounds (barriers) the run took.
 type ShardPoint struct {
-	Shards       int     `json:"shards"`
-	WallS        float64 `json:"wall_s"`
-	Events       uint64  `json:"events"`
-	NsPerEvent   float64 `json:"ns_per_event"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	Speedup      float64 `json:"speedup_vs_serial"`
-	MakespanS    float64 `json:"makespan_s"`
+	Shards         int      `json:"shards"`
+	Partition      string   `json:"partition,omitempty"`
+	WallS          float64  `json:"wall_s"`
+	Events         uint64   `json:"events"`
+	ShardEvents    []uint64 `json:"shard_events,omitempty"`
+	ImbalanceRatio float64  `json:"imbalance_ratio,omitempty"`
+	BarrierRounds  uint64   `json:"barrier_rounds,omitempty"`
+	NsPerEvent     float64  `json:"ns_per_event"`
+	EventsPerSec   float64  `json:"events_per_sec"`
+	Speedup        float64  `json:"speedup_vs_serial"`
+	MakespanS      float64  `json:"makespan_s"`
 }
 
-// LargeInfo is the large-scale scenario: a paper figure workload at >= 1024
+// LargeInfo is the large-scale scenario: a paper figure workload at >= 4096
 // processors on the sharded engine, cross-checked against the serial one.
 type LargeInfo struct {
-	Procs             int     `json:"procs"`
-	UnitsPerProc      int     `json:"units_per_proc"`
-	System            string  `json:"system"`
-	Shards            int     `json:"shards"`
-	WallS             float64 `json:"wall_s"`
-	SerialWallS       float64 `json:"serial_wall_s"`
-	MakespanS         float64 `json:"makespan_s"`
-	IdenticalToSerial bool    `json:"identical_to_serial"`
+	Procs             int      `json:"procs"`
+	UnitsPerProc      int      `json:"units_per_proc"`
+	System            string   `json:"system"`
+	Shards            int      `json:"shards"`
+	Partition         string   `json:"partition"`
+	WallS             float64  `json:"wall_s"`
+	SerialWallS       float64  `json:"serial_wall_s"`
+	MakespanS         float64  `json:"makespan_s"`
+	Events            uint64   `json:"events"`
+	ShardEvents       []uint64 `json:"shard_events,omitempty"`
+	ImbalanceRatio    float64  `json:"imbalance_ratio,omitempty"`
+	BarrierRounds     uint64   `json:"barrier_rounds,omitempty"`
+	IdenticalToSerial bool     `json:"identical_to_serial"`
 }
 
 // ShardInfo holds the sharded-engine axis: the mesh workload timed per shard
@@ -138,8 +189,50 @@ type ShardInfo struct {
 	MeshRounds  int          `json:"mesh_rounds"`
 	Points      []ShardPoint `json:"points"`
 	SpeedupAtS4 float64      `json:"speedup_at_s4"`
+	SpeedupAtS8 float64      `json:"speedup_at_s8"`
 	Identical   bool         `json:"identical_across_shards"`
 	Large       *LargeInfo   `json:"large,omitempty"`
+}
+
+// WindowInfo compares PR 6's fixed one-lookahead windows against the
+// adaptive per-destination protocol on one figure scenario: same output
+// (checked), fewer coordination rounds (the point). The scenario runs on
+// the cluster-of-SMPs network variant (the paper's platform shape): zones
+// of ZoneSize processors with a cheap intra-zone latency, and the blocked
+// partition aligning shards with zones — so every cross-shard link costs
+// the slow inter-zone latency and the lookahead matrix can open windows
+// that wide, while the fixed protocol stays clamped to the global minimum.
+type WindowInfo struct {
+	Figure         int     `json:"figure"`
+	System         string  `json:"system"`
+	Procs          int     `json:"procs"`
+	UnitsPerProc   int     `json:"units_per_proc"`
+	Shards         int     `json:"shards"`
+	Partition      string  `json:"partition"`
+	ZoneSize       int     `json:"zone_size"`
+	ZoneLatencyUs  float64 `json:"zone_latency_us"`
+	InterLatencyUs float64 `json:"inter_latency_us"`
+	FixedRounds    uint64  `json:"fixed_rounds"`
+	AdaptiveRounds uint64  `json:"adaptive_rounds"`
+	RoundsRatio    float64 `json:"rounds_ratio"`
+	FixedWallS     float64 `json:"fixed_wall_s"`
+	AdaptiveWallS  float64 `json:"adaptive_wall_s"`
+	Identical      bool    `json:"identical"`
+}
+
+// ScaleInfo is the scale push: an engine-level workload of Procs processors
+// each stepping ObjectsPerProc objects (~1M objects total at the defaults),
+// timed across shard counts.
+type ScaleInfo struct {
+	Procs          int          `json:"procs"`
+	ObjectsPerProc int          `json:"objects_per_proc"`
+	Objects        int          `json:"objects"`
+	Points         []ShardPoint `json:"points"`
+	SpeedupAtS2    float64      `json:"speedup_at_s2"`
+	SpeedupAtS4    float64      `json:"speedup_at_s4"`
+	SpeedupAtS8    float64      `json:"speedup_at_s8"`
+	Identical      bool         `json:"identical_across_shards"`
+	MaxObjects     int          `json:"max_scenario_objects"`
 }
 
 // SweepInfo holds the serial vs parallel campaign timing.
@@ -156,16 +249,24 @@ type SweepInfo struct {
 	OutputsIdentical bool     `json:"outputs_identical"`
 }
 
+// shardCounts is the shard axis every scaling section sweeps.
+var shardCounts = []int{1, 2, 4, 8}
+
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
-	procs := flag.Int("procs", 128, "simulated processors for the sweep and trace timing")
-	upp := flag.Int("units-per-proc", 128, "work units per processor for the sweep and trace timing")
+	out := flag.String("out", "BENCH_PR7.json", "output JSON path")
+	procs := flag.Int("procs", 128, "simulated processors for the sweep, trace, and windows timing")
+	upp := flag.Int("units-per-proc", 128, "work units per processor for the sweep, trace, and windows timing")
 	jobs := flag.Int("jobs", sweep.DefaultJobs(), "parallel sweep worker count")
 	events := flag.Int("events", 500_000, "microbenchmark event count")
+	partition := flag.String("partition", bench.PartitionLoaded, "partition strategy for the large scenario: roundrobin, blocked, or loaded")
 	skipSweep := flag.Bool("skip-sweep", false, "skip the serial-vs-parallel sweep timing")
 	skipTrace := flag.Bool("skip-trace", false, "skip the tracing-overhead scenario sweep")
 	skipShards := flag.Bool("skip-shards", false, "skip the sharded-engine axis")
+	skipWindows := flag.Bool("skip-windows", false, "skip the fixed-vs-adaptive window comparison")
+	skipScale := flag.Bool("skip-scale", false, "skip the scale-push axis")
 	skipLarge := flag.Bool("skip-large", false, "skip the large-scale scenario of the shards axis")
+	scaleProcs := flag.Int("scale-procs", 4096, "scale push: simulated processors")
+	scaleObjects := flag.Int("scale-objects", 256, "scale push: objects per processor")
 	largeProcs := flag.Int("large-procs", 1024, "large-scale scenario: simulated processors")
 	largeUPP := flag.Int("large-upp", 16, "large-scale scenario: work units per processor")
 	flag.Parse()
@@ -182,13 +283,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "perfbench: -procs, -units-per-proc, -jobs and -events must be positive")
 		os.Exit(2)
 	}
-	if *largeProcs < 1 || *largeUPP < 1 {
-		fmt.Fprintln(os.Stderr, "perfbench: -large-procs and -large-upp must be positive")
+	if *largeProcs < 1 || *largeUPP < 1 || *scaleProcs < 1 || *scaleObjects < 1 {
+		fmt.Fprintln(os.Stderr, "perfbench: -large-procs, -large-upp, -scale-procs and -scale-objects must be positive")
+		os.Exit(2)
+	}
+	if !bench.ValidPartition(*partition) {
+		fmt.Fprintf(os.Stderr, "perfbench: -partition must be one of %v (got %q)\n", bench.PartitionStrategies, *partition)
 		os.Exit(2)
 	}
 
 	rep := Report{
-		Bench: "PR6",
+		Bench: "PR7",
 		Host: HostInfo{
 			GoVersion:  runtime.Version(),
 			GOOS:       runtime.GOOS,
@@ -197,11 +302,19 @@ func main() {
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 		},
 	}
+	for _, s := range shardCounts {
+		j := sweep.JobsFor(s)
+		rep.Host.JobsClamp = append(rep.Host.JobsClamp, ClampInfo{
+			Shards: s, AutoJobs: j, JobsXShards: j * s,
+		})
+	}
 
 	fmt.Printf("perfbench: engine microbenchmarks (%d events)...\n", *events)
 	rep.Eng = measureEngine(*events)
 	fmt.Printf("  advance:  %8.1f ns/event  %.4f allocs/event  %.1f B/event  %.2fM events/s\n",
 		rep.Eng.NsPerEvent, rep.Eng.AllocsPerEvent, rep.Eng.BytesPerEvent, rep.Eng.EventsPerSec/1e6)
+	fmt.Printf("  queued:   %8.1f ns/event  %.4f allocs/event\n",
+		rep.Eng.NsPerEventQueued, rep.Eng.AllocsPerEventQueue)
 	fmt.Printf("  AM trip:  %8.1f ns/msg    %.4f allocs/msg\n", rep.Eng.AMRoundTripNs, rep.Eng.AMRoundTripAllocs)
 
 	if !*skipTrace {
@@ -232,22 +345,49 @@ func main() {
 	}
 
 	if !*skipShards {
-		si, err := measureShards(*events, *largeProcs, *largeUPP, *skipLarge)
+		si, err := measureShards(*events, *largeProcs, *largeUPP, *partition, *skipLarge)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "perfbench:", err)
 			os.Exit(1)
 		}
 		rep.Shards = si
 		for _, p := range si.Points {
-			fmt.Printf("  shards=%d: %8.1f ns/event  %.2fM events/s  wall %.2fs  speedup %.2fx\n",
-				p.Shards, p.NsPerEvent, p.EventsPerSec/1e6, p.WallS, p.Speedup)
+			fmt.Printf("  shards=%d: %8.1f ns/event  %.2fM events/s  wall %.2fs  speedup %.2fx  imbalance %.2f  rounds %d\n",
+				p.Shards, p.NsPerEvent, p.EventsPerSec/1e6, p.WallS, p.Speedup, p.ImbalanceRatio, p.BarrierRounds)
 		}
 		fmt.Printf("  identical across shard counts: %v\n", si.Identical)
 		if si.Large != nil {
-			fmt.Printf("  large:    %d procs x %d units/proc (%s, shards=%d)  wall %.1fs (serial %.1fs)  makespan %.1fs  identical=%v\n",
-				si.Large.Procs, si.Large.UnitsPerProc, si.Large.System, si.Large.Shards,
-				si.Large.WallS, si.Large.SerialWallS, si.Large.MakespanS, si.Large.IdenticalToSerial)
+			fmt.Printf("  large:    %d procs x %d units/proc (%s, shards=%d, partition=%s)  wall %.1fs (serial %.1fs)  makespan %.1fs  imbalance %.2f  rounds %d  identical=%v\n",
+				si.Large.Procs, si.Large.UnitsPerProc, si.Large.System, si.Large.Shards, si.Large.Partition,
+				si.Large.WallS, si.Large.SerialWallS, si.Large.MakespanS,
+				si.Large.ImbalanceRatio, si.Large.BarrierRounds, si.Large.IdenticalToSerial)
 		}
+	}
+
+	if !*skipWindows {
+		wi, err := measureWindows(*procs, *upp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		rep.Windows = wi
+		fmt.Printf("  windows:  fig %d (%d procs, shards=%d)  fixed %d rounds -> adaptive %d rounds (%.1fx fewer)  identical=%v\n",
+			wi.Figure, wi.Procs, wi.Shards, wi.FixedRounds, wi.AdaptiveRounds, wi.RoundsRatio, wi.Identical)
+	}
+
+	if !*skipScale {
+		sc, err := measureScale(*scaleProcs, *scaleObjects)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		rep.Scale = sc
+		for _, p := range sc.Points {
+			fmt.Printf("  scale s=%d: %8.1f ns/event  %.2fM events/s  wall %.2fs  speedup %.2fx  imbalance %.2f  rounds %d\n",
+				p.Shards, p.NsPerEvent, p.EventsPerSec/1e6, p.WallS, p.Speedup, p.ImbalanceRatio, p.BarrierRounds)
+		}
+		fmt.Printf("  scale:    %d procs x %d objects/proc = %d objects  identical=%v\n",
+			sc.Procs, sc.ObjectsPerProc, sc.Objects, sc.Identical)
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
@@ -310,6 +450,33 @@ func measureEngine(events int) EngineInfo {
 			os.Exit(1)
 		}
 	}
+	queued := probe{n: events / 2}
+	{
+		e := sim.NewEngine(sim.Config{Seed: 1})
+		// Two processors advancing by the same quantum: every wake ties
+		// with the peer's pending wake, and ties always take the slow
+		// path, so this times the heap + park/transfer round trip.
+		rounds := warm + queued.n
+		e.Spawn("a", func(p *sim.Proc) {
+			for i := 0; i < rounds; i++ {
+				p.Advance(sim.Microsecond, sim.CatCompute)
+			}
+		})
+		e.Spawn("b", func(p *sim.Proc) {
+			for i := 0; i < warm; i++ {
+				p.Advance(sim.Microsecond, sim.CatCompute)
+			}
+			m0, t0 := queued.begin()
+			for i := 0; i < queued.n; i++ {
+				p.Advance(sim.Microsecond, sim.CatCompute)
+			}
+			queued.end(m0, t0)
+		})
+		if err := e.Run(); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench: queued probe:", err)
+			os.Exit(1)
+		}
+	}
 	am := probe{n: events / 4}
 	{
 		e := sim.NewEngine(sim.Config{Seed: 1})
@@ -349,11 +516,13 @@ func measureEngine(events int) EngineInfo {
 		}
 	}
 	info := EngineInfo{
-		NsPerEvent:        float64(adv.dur.Nanoseconds()) / float64(adv.n),
-		AllocsPerEvent:    float64(adv.allocs) / float64(adv.n),
-		BytesPerEvent:     float64(adv.bytes) / float64(adv.n),
-		AMRoundTripNs:     float64(am.dur.Nanoseconds()) / float64(am.n),
-		AMRoundTripAllocs: float64(am.allocs) / float64(am.n),
+		NsPerEvent:          float64(adv.dur.Nanoseconds()) / float64(adv.n),
+		AllocsPerEvent:      float64(adv.allocs) / float64(adv.n),
+		BytesPerEvent:       float64(adv.bytes) / float64(adv.n),
+		NsPerEventQueued:    float64(queued.dur.Nanoseconds()) / float64(queued.n),
+		AllocsPerEventQueue: float64(queued.allocs) / float64(queued.n),
+		AMRoundTripNs:       float64(am.dur.Nanoseconds()) / float64(am.n),
+		AMRoundTripAllocs:   float64(am.allocs) / float64(am.n),
 	}
 	if info.NsPerEvent > 0 {
 		info.EventsPerSec = 1e9 / info.NsPerEvent
@@ -458,7 +627,7 @@ func measureSweep(procs, upp, jobs int) (*SweepInfo, error) {
 	fmt.Printf("perfbench: serial sweep (%d sims at %d procs x %d units/proc)...\n",
 		info.Simulations, procs, upp)
 	t0 := time.Now()
-	serial, err := bench.RunFigures(specs, procs, upp, 1, 1)
+	serial, err := bench.RunFigures(specs, procs, upp, 1, 1, "")
 	if err != nil {
 		return nil, err
 	}
@@ -467,7 +636,7 @@ func measureSweep(procs, upp, jobs int) (*SweepInfo, error) {
 
 	fmt.Printf("perfbench: parallel sweep (jobs=%d)...\n", jobs)
 	t1 := time.Now()
-	parallel, err := bench.RunFigures(specs, procs, upp, jobs, 1)
+	parallel, err := bench.RunFigures(specs, procs, upp, jobs, 1, "")
 	if err != nil {
 		return nil, err
 	}
@@ -485,13 +654,33 @@ func measureSweep(procs, upp, jobs int) (*SweepInfo, error) {
 	return info, nil
 }
 
+// point packages one engine run's timing and telemetry into a ShardPoint.
+func point(e *sim.Engine, shards int, wall time.Duration) ShardPoint {
+	p := ShardPoint{
+		Shards:     shards,
+		WallS:      wall.Seconds(),
+		Events:     e.EventsFired(),
+		MakespanS:  e.Makespan().Seconds(),
+		NsPerEvent: float64(wall.Nanoseconds()) / float64(e.EventsFired()),
+	}
+	if p.NsPerEvent > 0 {
+		p.EventsPerSec = 1e9 / p.NsPerEvent
+	}
+	if shards > 1 {
+		p.ShardEvents = e.ShardEventsFired()
+		p.ImbalanceRatio = e.ImbalanceRatio()
+		p.BarrierRounds = e.BarrierRounds()
+	}
+	return p
+}
+
 // meshRun executes one irregular message-passing workload — every processor
 // alternates randomized compute quanta with sends to random peers — on the
-// given shard count, returning the wall time, exact event count, and final
-// makespan. The workload is deterministic (all randomness comes from the
+// given shard count, returning the engine (for telemetry) and wall time.
+// The workload is deterministic (all randomness comes from the
 // per-processor streams), so the makespan must be identical for every shard
 // count; the caller cross-checks that.
-func meshRun(procs, rounds, shards int) (time.Duration, uint64, sim.Time, error) {
+func meshRun(procs, rounds, shards int) (*sim.Engine, time.Duration, error) {
 	e := sim.NewEngine(sim.Config{Seed: 7, Shards: shards})
 	for i := 0; i < procs; i++ {
 		e.Spawn(fmt.Sprintf("p%d", i), func(p *sim.Proc) {
@@ -515,15 +704,15 @@ func meshRun(procs, rounds, shards int) (time.Duration, uint64, sim.Time, error)
 	}
 	t0 := time.Now()
 	if err := e.Run(); err != nil {
-		return 0, 0, 0, err
+		return nil, 0, err
 	}
-	return time.Since(t0), e.EventsFired(), e.Makespan(), nil
+	return e, time.Since(t0), nil
 }
 
-// measureShards times the mesh workload at S in {1, 2, 4} shards and runs
+// measureShards times the mesh workload at S in {1, 2, 4, 8} shards and runs
 // the large-scale figure scenario sharded and serial, cross-checking both
 // byte-identity claims.
-func measureShards(events, largeProcs, largeUPP int, skipLarge bool) (*ShardInfo, error) {
+func measureShards(events, largeProcs, largeUPP int, partition string, skipLarge bool) (*ShardInfo, error) {
 	const meshProcs = 256
 	rounds := events / (meshProcs * 5) // ~5 events per (advance, send, recv) round
 	if rounds < 10 {
@@ -531,35 +720,28 @@ func measureShards(events, largeProcs, largeUPP int, skipLarge bool) (*ShardInfo
 	}
 	si := &ShardInfo{MeshProcs: meshProcs, MeshRounds: rounds, Identical: true}
 	fmt.Printf("perfbench: sharded engine axis (mesh: %d procs x %d rounds)...\n", meshProcs, rounds)
-	var serialWall float64
-	var serialMakespan sim.Time
-	for _, s := range []int{1, 2, 4} {
-		wall, fired, makespan, err := meshRun(meshProcs, rounds, s)
+	var serialWall, serialMakespan float64
+	for _, s := range shardCounts {
+		e, wall, err := meshRun(meshProcs, rounds, s)
 		if err != nil {
 			return nil, fmt.Errorf("mesh shards=%d: %w", s, err)
 		}
-		p := ShardPoint{
-			Shards:     s,
-			WallS:      wall.Seconds(),
-			Events:     fired,
-			NsPerEvent: float64(wall.Nanoseconds()) / float64(fired),
-			MakespanS:  makespan.Seconds(),
-		}
-		if p.NsPerEvent > 0 {
-			p.EventsPerSec = 1e9 / p.NsPerEvent
-		}
+		p := point(e, s, wall)
 		if s == 1 {
-			serialWall, serialMakespan = p.WallS, makespan
+			serialWall, serialMakespan = p.WallS, p.MakespanS
 			p.Speedup = 1
 		} else {
 			if p.WallS > 0 {
 				p.Speedup = serialWall / p.WallS
 			}
-			if makespan != serialMakespan {
+			if p.MakespanS != serialMakespan {
 				si.Identical = false
 			}
 			if s == 4 {
 				si.SpeedupAtS4 = p.Speedup
+			}
+			if s == 8 {
+				si.SpeedupAtS8 = p.Speedup
 			}
 		}
 		si.Points = append(si.Points, p)
@@ -572,9 +754,10 @@ func measureShards(events, largeProcs, largeUPP int, skipLarge bool) (*ShardInfo
 	const system = "prema-implicit"
 	spec := bench.Figures()[0]
 	w := bench.PaperWorkload(spec, largeProcs, largeUPP)
-	fmt.Printf("perfbench: large scenario (%d procs x %d units/proc, %s, shards=%d vs serial)...\n",
-		largeProcs, largeUPP, system, largeShards)
+	fmt.Printf("perfbench: large scenario (%d procs x %d units/proc, %s, shards=%d, partition=%s, vs serial)...\n",
+		largeProcs, largeUPP, system, largeShards, partition)
 	w.Shards = largeShards
+	w.Partition = partition
 	t0 := time.Now()
 	sharded, err := bench.RunSystem(system, w)
 	if err != nil {
@@ -582,21 +765,163 @@ func measureShards(events, largeProcs, largeUPP int, skipLarge bool) (*ShardInfo
 	}
 	shardedWall := time.Since(t0).Seconds()
 	w.Shards = 1
+	w.Partition = ""
 	t1 := time.Now()
 	serial, err := bench.RunSystem(system, w)
 	if err != nil {
 		return nil, fmt.Errorf("large serial: %w", err)
 	}
 	si.Large = &LargeInfo{
-		Procs:             largeProcs,
-		UnitsPerProc:      largeUPP,
-		System:            system,
-		Shards:            largeShards,
-		WallS:             shardedWall,
-		SerialWallS:       time.Since(t1).Seconds(),
-		MakespanS:         sharded.Makespan.Seconds(),
+		Procs:          largeProcs,
+		UnitsPerProc:   largeUPP,
+		System:         system,
+		Shards:         largeShards,
+		Partition:      partition,
+		WallS:          shardedWall,
+		SerialWallS:    time.Since(t1).Seconds(),
+		MakespanS:      sharded.Makespan.Seconds(),
+		Events:         sharded.Events,
+		ShardEvents:    sharded.ShardEvents,
+		ImbalanceRatio: sharded.ImbalanceRatio(),
+		BarrierRounds:  sharded.BarrierRounds,
 		IdenticalToSerial: serial.Summary() == sharded.Summary() &&
 			serial.Breakdown(1) == sharded.Breakdown(1),
 	}
 	return si, nil
+}
+
+// measureWindows runs one figure scenario sharded twice — fixed windows vs
+// the adaptive protocol — and reports the barrier-round reduction. The two
+// runs must produce identical reports; only the round count (and wall
+// clock) may differ. The network is the two-level cluster-of-SMPs variant
+// with one zone per shard (blocked partition), the configuration the
+// per-destination lookahead matrix exists for.
+func measureWindows(procs, upp int) (*WindowInfo, error) {
+	const system = "prema-implicit"
+	const shards = 4
+	const zoneLat = 5 * sim.Microsecond
+	spec := bench.Figures()[0]
+	fmt.Printf("perfbench: window protocol (fig %d, %d procs x %d units/proc, %s, shards=%d, zoned net, fixed vs adaptive)...\n",
+		spec.ID, procs, upp, system, shards)
+	w := bench.PaperWorkload(spec, procs, upp)
+	net := sim.DefaultNetwork()
+	net.ZoneSize = (procs + shards - 1) / shards
+	net.ZoneLatency = zoneLat
+	w.Network = net
+	w.Shards = shards
+	w.Partition = bench.PartitionBlocked
+
+	w.FixedWindows = true
+	t0 := time.Now()
+	fixed, err := bench.RunSystem(system, w)
+	if err != nil {
+		return nil, fmt.Errorf("windows fixed: %w", err)
+	}
+	fixedWall := time.Since(t0).Seconds()
+
+	w.FixedWindows = false
+	t1 := time.Now()
+	adaptive, err := bench.RunSystem(system, w)
+	if err != nil {
+		return nil, fmt.Errorf("windows adaptive: %w", err)
+	}
+	wi := &WindowInfo{
+		Figure:         spec.ID,
+		System:         system,
+		Procs:          procs,
+		UnitsPerProc:   upp,
+		Shards:         shards,
+		Partition:      bench.PartitionBlocked,
+		ZoneSize:       net.ZoneSize,
+		ZoneLatencyUs:  float64(net.ZoneLatency) / float64(sim.Microsecond),
+		InterLatencyUs: float64(net.Latency) / float64(sim.Microsecond),
+		FixedRounds:    fixed.BarrierRounds,
+		AdaptiveRounds: adaptive.BarrierRounds,
+		FixedWallS:     fixedWall,
+		AdaptiveWallS:  time.Since(t1).Seconds(),
+		Identical: fixed.Summary() == adaptive.Summary() &&
+			fixed.Breakdown(1) == adaptive.Breakdown(1),
+	}
+	if wi.AdaptiveRounds > 0 {
+		wi.RoundsRatio = float64(wi.FixedRounds) / float64(wi.AdaptiveRounds)
+	}
+	return wi, nil
+}
+
+// scaleRun executes the scale-push workload: procs processors each stepping
+// `objects` objects (one compute quantum per object, one message per 16
+// objects — an AMR-flavored compute/communicate mix) on the given shard
+// count.
+func scaleRun(procs, objects, shards int) (*sim.Engine, time.Duration, error) {
+	e := sim.NewEngine(sim.Config{Seed: 11, Shards: shards})
+	for i := 0; i < procs; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *sim.Proc) {
+			rng := p.Rand()
+			n := p.Engine().NumProcs()
+			for o := 0; o < objects; o++ {
+				p.Advance(sim.Time(1+rng.Intn(4))*sim.Microsecond, sim.CatCompute)
+				if o&15 == 0 {
+					dst := rng.Intn(n)
+					if dst == p.ID() {
+						dst = (dst + 1) % n
+					}
+					p.Send(&sim.Msg{Dst: dst, Tag: 1, Size: 32}, sim.CatMessaging)
+				}
+				if o&15 == 8 && p.TryRecv(sim.CatMessaging) == nil {
+					// Nothing pending; keep stepping objects.
+					continue
+				}
+			}
+			for p.WaitMsgFor(200*sim.Microsecond, sim.CatIdle) {
+				p.TryRecv(sim.CatMessaging)
+			}
+		})
+	}
+	t0 := time.Now()
+	if err := e.Run(); err != nil {
+		return nil, 0, err
+	}
+	return e, time.Since(t0), nil
+}
+
+// measureScale runs the scale-push workload across the shard axis.
+func measureScale(procs, objects int) (*ScaleInfo, error) {
+	sc := &ScaleInfo{
+		Procs:          procs,
+		ObjectsPerProc: objects,
+		Objects:        procs * objects,
+		MaxObjects:     procs * objects,
+		Identical:      true,
+	}
+	fmt.Printf("perfbench: scale push (%d procs x %d objects/proc = %d objects)...\n",
+		procs, objects, sc.Objects)
+	var serialWall, serialMakespan float64
+	for _, s := range shardCounts {
+		e, wall, err := scaleRun(procs, objects, s)
+		if err != nil {
+			return nil, fmt.Errorf("scale shards=%d: %w", s, err)
+		}
+		p := point(e, s, wall)
+		if s == 1 {
+			serialWall, serialMakespan = p.WallS, p.MakespanS
+			p.Speedup = 1
+		} else {
+			if p.WallS > 0 {
+				p.Speedup = serialWall / p.WallS
+			}
+			if p.MakespanS != serialMakespan {
+				sc.Identical = false
+			}
+			switch s {
+			case 2:
+				sc.SpeedupAtS2 = p.Speedup
+			case 4:
+				sc.SpeedupAtS4 = p.Speedup
+			case 8:
+				sc.SpeedupAtS8 = p.Speedup
+			}
+		}
+		sc.Points = append(sc.Points, p)
+	}
+	return sc, nil
 }

@@ -5,7 +5,8 @@
 //
 //	premabench -system prema-implicit -imbalance 0.5 -ratio 2.0 \
 //	           [-procs 128] [-units-per-proc 128] [-stride 8] [-hints mean] \
-//	           [-jobs J] [-shards S] [-backend sim|real] [-timescale 1e-3] \
+//	           [-jobs J] [-shards S] [-partition roundrobin|blocked|loaded] \
+//	           [-backend sim|real] [-timescale 1e-3] \
 //	           [-spin] [-fault-plan PLAN] [-fault-seed N] [-reliable] \
 //	           [-trace trace.json] [-metrics metrics.txt] [-trace-ring N]
 //
@@ -34,8 +35,9 @@
 // flight, and the summaries print in the order given. Simulations are
 // independent, so the output is identical for any -jobs value. -shards
 // additionally parallelizes each simulation's event loop (simulator only;
-// also output-identical); the two levels multiply, so the -jobs default of 0
-// means "auto": one worker per CPU divided by -shards.
+// also output-identical) and -partition picks the processor-to-shard
+// placement strategy; the two parallelism levels multiply, so the -jobs
+// default of 0 means "auto": one worker per CPU divided by -shards.
 //
 // -backend selects the execution substrate: "sim" (default) runs the
 // deterministic discrete-event simulator; "real" runs the PREMA systems with
@@ -71,6 +73,7 @@ func main() {
 	hints := flag.String("hints", "mean", "weight hints given to balancers: mean | accurate")
 	jobs := flag.Int("jobs", 0, "multi-system mode: max simulations in flight (0 = auto: one per CPU divided by -shards)")
 	shards := flag.Int("shards", 1, "simulator backend: parallel event-loop shards per simulation (output is identical for any value)")
+	partition := flag.String("partition", "roundrobin", "simulator backend: processor-to-shard placement strategy: roundrobin, blocked, or loaded (output is identical for any value)")
 	backend := flag.String("backend", "sim", "execution substrate: sim (deterministic) | real (goroutines)")
 	timescale := flag.Float64("timescale", 1e-3, "real backend: wall seconds per virtual second")
 	spin := flag.Bool("spin", false, "real backend: busy-wait instead of sleeping")
@@ -106,6 +109,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "premabench: -shards applies to the simulator backend only; use -backend=sim\n")
 		os.Exit(2)
 	}
+	if !bench.ValidPartition(*partition) {
+		fmt.Fprintf(os.Stderr, "premabench: -partition must be one of %v (got %q)\n", bench.PartitionStrategies, *partition)
+		os.Exit(2)
+	}
 	if *jobs < 1 {
 		*jobs = sweep.JobsFor(*shards)
 	}
@@ -120,6 +127,7 @@ func main() {
 	}
 	w := bench.PaperWorkload(bench.FigureSpec{ID: 0, Imbalance: *imb, Ratio: *ratio}, *procs, *upp)
 	w.Shards = *shards
+	w.Partition = *partition
 	switch *hints {
 	case "mean":
 		w.Hints = bench.HintMean

@@ -50,7 +50,7 @@ func RunChaos(w Workload, cs ChaosSpec) (*Result, faulty.Stats, error) {
 	var m substrate.Machine
 	switch cs.Backend {
 	case "", "sim":
-		m = sim.NewMachine(sim.Config{Network: w.Network, Seed: w.Seed, Shards: w.Shards})
+		m = sim.NewMachine(w.simConfig())
 	case "real":
 		rc := rtm.DefaultConfig()
 		rc.Seed = w.Seed

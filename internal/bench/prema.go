@@ -170,7 +170,18 @@ func RunPremaOn(m substrate.Machine, w Workload, cfg PremaConfig) (*Result, erro
 	return res, nil
 }
 
-// collect snapshots per-processor accounts into a Result.
+// engineStats is the simulator engine telemetry surface. sim.Machine
+// satisfies it by embedding *sim.Engine; the real backend and wrapping
+// decorators (trace, faulty) do not, and their runs simply carry no engine
+// telemetry.
+type engineStats interface {
+	EventsFired() uint64
+	ShardEventsFired() []uint64
+	BarrierRounds() uint64
+}
+
+// collect snapshots per-processor accounts into a Result, plus engine
+// telemetry when the machine exposes it.
 func collect(name string, w Workload, m substrate.Machine) *Result {
 	res := &Result{
 		System:   name,
@@ -181,6 +192,11 @@ func collect(name string, w Workload, m substrate.Machine) *Result {
 	}
 	for i := 0; i < m.NumProcs(); i++ {
 		res.Accounts[i] = *m.Account(i)
+	}
+	if es, ok := m.(engineStats); ok {
+		res.Events = es.EventsFired()
+		res.ShardEvents = es.ShardEventsFired()
+		res.BarrierRounds = es.BarrierRounds()
 	}
 	return res
 }

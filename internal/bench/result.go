@@ -31,6 +31,36 @@ type Result struct {
 	// The chaos harness uses it to check object conservation — every
 	// registered object lives on exactly one processor, dup or no dup.
 	Resident []int
+
+	// Engine telemetry (simulator backend only; zero/nil on the real
+	// backend or behind wrapping decorators). These describe the host-side
+	// execution, not the simulated system, so they appear in perfbench's
+	// ledger but never in Summary/Breakdown/CSV — the outputs the golden
+	// hashes and byte-identity tests cover.
+
+	// Events is the total number of simulator events the run fired.
+	Events uint64
+	// ShardEvents is the per-shard event count (len = shard count).
+	ShardEvents []uint64
+	// BarrierRounds is the number of window coordination rounds the sharded
+	// engine executed (0 for serial runs).
+	BarrierRounds uint64
+}
+
+// ImbalanceRatio returns max/mean of the per-shard event counts — 1.0 is a
+// perfectly balanced partition — or 0 when shard telemetry is unavailable.
+func (r *Result) ImbalanceRatio() float64 {
+	var total, max uint64
+	for _, c := range r.ShardEvents {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(r.ShardEvents)) / float64(total)
 }
 
 // Series extracts one per-processor category series in seconds — one

@@ -12,14 +12,15 @@ import (
 // guarantee makes the parallel output byte-identical to the serial one.
 
 // RunFigures runs the full (figure × system) grid for the given specs with
-// at most jobs simulations in flight, each on `shards` simulator shards,
+// at most jobs simulations in flight, each on `shards` simulator shards
+// partitioned by `partition` (a PartitionStrategies name; "" = roundrobin),
 // returning FigureRuns in spec order with Results ordered as SystemNames —
 // exactly what serial RunFigure calls would produce. The two parallelism
 // levels multiply (jobs × shards goroutines want CPUs at once), so jobs < 1
 // selects sweep.JobsFor(shards), which clamps the product to the CPU count;
-// jobs == 1, shards == 1 is the fully serial path. Neither knob changes a
-// single output byte.
-func RunFigures(specs []FigureSpec, procs, unitsPerProc, jobs, shards int) ([]*FigureRun, error) {
+// jobs == 1, shards == 1 is the fully serial path. None of the three knobs
+// changes a single output byte.
+func RunFigures(specs []FigureSpec, procs, unitsPerProc, jobs, shards int, partition string) ([]*FigureRun, error) {
 	if jobs < 1 {
 		jobs = sweep.JobsFor(shards)
 	}
@@ -28,6 +29,7 @@ func RunFigures(specs []FigureSpec, procs, unitsPerProc, jobs, shards int) ([]*F
 		spec, name := specs[i/nsys], SystemNames[i%nsys]
 		w := PaperWorkload(spec, procs, unitsPerProc)
 		w.Shards = shards
+		w.Partition = partition
 		r, err := RunSystem(name, w)
 		if err != nil {
 			return nil, fmt.Errorf("figure %d: %w", spec.ID, err)

@@ -21,9 +21,10 @@ func TestSweepMatchesSerial(t *testing.T) {
 		serial = append(serial, fr)
 	}
 
-	// jobs=8 and shards=2 together also exercise the sweep × shard
-	// parallelism product: neither knob may change a single output byte.
-	parallel, err := RunFigures(specs, procs, upp, 8, 2)
+	// jobs=8, shards=2, and a load-aware partition together exercise the
+	// sweep × shard parallelism product and the placement strategy: none of
+	// the knobs may change a single output byte.
+	parallel, err := RunFigures(specs, procs, upp, 8, 2, PartitionLoaded)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,9 @@
 package bench
 
 import (
+	"fmt"
+	"sort"
+
 	"prema/internal/sim"
 	"prema/internal/substrate"
 )
@@ -61,6 +64,129 @@ type Workload struct {
 	// is byte-identical for every value (internal/bench/shard_equivalence_test.go
 	// guards this). It only applies to the simulator backend.
 	Shards int
+	// Partition selects the processor→shard placement strategy when Shards
+	// > 1: PartitionRoundRobin (default; also the empty string),
+	// PartitionBlocked (contiguous ID ranges, which aligns shards with
+	// network zones and with the block unit distribution's heavy prefix),
+	// or PartitionLoaded (greedy LPT over each processor's expected event
+	// weight, so shards start with near-equal work). Like Shards it never
+	// changes output, only the shard-level balance and barrier cost.
+	Partition string
+	// FixedWindows forwards sim.Config.FixedWindows: it pins the sharded
+	// engine to one minimum-lookahead window per coordination round so
+	// perfbench can measure the rounds adaptive batching saves.
+	FixedWindows bool
+}
+
+// testPartition, when non-nil, overrides every workload's partition strategy
+// with an explicit processor→shard map. Only the partition-invariance tests
+// set it (and restore nil); it lives outside Workload because Workload must
+// stay comparable, so it cannot carry a func field itself.
+var testPartition func(id, shards int) int
+
+// Partition strategy names accepted by Workload.Partition and the CLIs'
+// -partition flag.
+const (
+	PartitionRoundRobin = "roundrobin"
+	PartitionBlocked    = "blocked"
+	PartitionLoaded     = "loaded"
+)
+
+// PartitionStrategies lists the valid partition strategy names.
+var PartitionStrategies = []string{PartitionRoundRobin, PartitionBlocked, PartitionLoaded}
+
+// ValidPartition reports whether s names a partition strategy ("" counts:
+// it means the round-robin default).
+func ValidPartition(s string) bool {
+	if s == "" {
+		return true
+	}
+	for _, v := range PartitionStrategies {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// partition resolves the configured strategy to a sim.Config.Partition
+// function (nil = the engine's round-robin default).
+func (w Workload) partition() func(id, shards int) int {
+	if testPartition != nil {
+		return testPartition
+	}
+	switch w.Partition {
+	case "", PartitionRoundRobin:
+		return nil
+	case PartitionBlocked:
+		procs := w.Procs
+		return func(id, shards int) int {
+			if id >= procs { // defensive: extra spawns fall back to round-robin
+				return id % shards
+			}
+			return id * shards / procs
+		}
+	case PartitionLoaded:
+		return w.loadedPartition()
+	default:
+		panic(fmt.Sprintf("bench: unknown partition strategy %q (want %v)", w.Partition, PartitionStrategies))
+	}
+}
+
+// loadedPartition builds the load-aware strategy: each processor's expected
+// event weight is the summed true weight of its initial units (the same
+// quantity the block distribution skews), and processors are placed on
+// shards by greedy LPT — heaviest first, each onto the currently lightest
+// shard. Ties break deterministically (lowest processor, lowest shard), so
+// the map is a pure function of the workload, as sim.Config.Partition
+// requires.
+func (w Workload) loadedPartition() func(id, shards int) int {
+	weights := make([]sim.Time, w.Procs)
+	for p := 0; p < w.Procs; p++ {
+		for _, u := range w.UnitsOf(p) {
+			weights[p] += w.Actual(u)
+		}
+	}
+	var (
+		builtFor int
+		assign   []int
+	)
+	return func(id, shards int) int {
+		if assign == nil || builtFor != shards {
+			assign = lptAssign(weights, shards)
+			builtFor = shards
+		}
+		if id >= len(assign) { // defensive: extra spawns fall back to round-robin
+			return id % shards
+		}
+		return assign[id]
+	}
+}
+
+// lptAssign is greedy longest-processing-time placement of weighted items
+// onto shards: items in descending weight order (stable on index), each to
+// the least-loaded shard (lowest index on ties).
+func lptAssign(weights []sim.Time, shards int) []int {
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return weights[order[a]] > weights[order[b]]
+	})
+	load := make([]sim.Time, shards)
+	assign := make([]int, len(weights))
+	for _, p := range order {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		assign[p] = best
+		load[best] += weights[p]
+	}
+	return assign
 }
 
 // NumHeavy returns the number of heavy units.
@@ -120,14 +246,28 @@ func (w Workload) IdealMakespan() sim.Time {
 	return w.TotalWork() / sim.Time(w.Procs)
 }
 
+// simConfig assembles the simulator configuration for this workload —
+// network model, seed, shard count, partition map, window mode. Everything
+// that builds a sim engine or machine for a workload goes through here so
+// the partition plumbing cannot diverge between drivers.
+func (w Workload) simConfig() sim.Config {
+	return sim.Config{
+		Network:      w.Network,
+		Seed:         w.Seed,
+		Shards:       w.Shards,
+		Partition:    w.partition(),
+		FixedWindows: w.FixedWindows,
+	}
+}
+
 // engine builds the simulation engine for this workload.
 func (w Workload) engine() *sim.Engine {
-	return sim.NewEngine(sim.Config{Network: w.Network, Seed: w.Seed, Shards: w.Shards})
+	return sim.NewEngine(w.simConfig())
 }
 
 // machine builds the default (deterministic simulator) substrate machine for
 // this workload. The RunXxxOn drivers accept any substrate.Machine; callers
 // wanting real concurrency construct an rtm.Machine themselves.
 func (w Workload) machine() substrate.Machine {
-	return sim.NewMachine(sim.Config{Network: w.Network, Seed: w.Seed, Shards: w.Shards})
+	return sim.NewMachine(w.simConfig())
 }

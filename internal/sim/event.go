@@ -121,6 +121,45 @@ func (h *eventHeap) Push(at Time, ord uint64, ev *event) {
 	h.e[i] = x
 }
 
+// PushAll inserts a batch of prebuilt entries in one operation — the bulk
+// path the window-barrier mailbox exchange uses instead of N individual
+// pushes. Because (at, ord) is a total order, the pop sequence of any
+// correct min-heap is unique, so PushAll is observationally identical to
+// pushing the entries one at a time (property-tested in heap_test.go); only
+// the sift work differs. Small batches sift each entry up (k·log_4 n);
+// batches comparable to the heap size switch to a full bottom-up Floyd
+// heapify, which is O(n) — cheaper than k sift-ups once k rivals the heap.
+func (h *eventHeap) PushAll(entries []heapEntry) {
+	k := len(entries)
+	if k == 0 {
+		return
+	}
+	was := len(h.e)
+	h.e = append(h.e, entries...)
+	n := len(h.e)
+	if was == 0 || k >= was/2 {
+		// Rebuild from the last parent down: every subtree rooted at or
+		// above the first appended index gets re-heapified.
+		for i := (n - 2) / heapArity; i >= 0; i-- {
+			h.siftDown(i)
+		}
+		return
+	}
+	for i := was; i < n; i++ {
+		x := h.e[i]
+		j := i
+		for j > 0 {
+			parent := (j - 1) / heapArity
+			if !x.before(h.e[parent]) {
+				break
+			}
+			h.e[j] = h.e[parent]
+			j = parent
+		}
+		h.e[j] = x
+	}
+}
+
 // Pop removes and returns the earliest entry; ok is false if the heap is
 // empty.
 func (h *eventHeap) Pop() (top heapEntry, ok bool) {

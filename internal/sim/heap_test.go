@@ -182,6 +182,89 @@ func TestQuaternaryMatchesBinaryHeap(t *testing.T) {
 	}
 }
 
+// TestPushAllMatchesSequentialPushes: bulk-inserting any batch of entries
+// pops in exactly the order N sequential pushes would have produced, for any
+// prior heap contents and any batch size — including batches big enough to
+// take the full-heapify path and batches into an empty heap. This is the
+// property the barrier exchange relies on when it drains a window's
+// cross-shard mailboxes with one PushAll per destination.
+func TestPushAllMatchesSequentialPushes(t *testing.T) {
+	f := func(pre, batch []int16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var bulk, seq eventHeap
+		var ord uint64
+		key := func(raw int16) Time {
+			tm := Time(raw % 64) // force heavy timestamp collisions
+			if tm < 0 {
+				tm = -tm
+			}
+			return tm
+		}
+		for _, raw := range pre {
+			ord++
+			bulk.Push(key(raw), ord, &event{})
+			seq.Push(key(raw), ord, &event{})
+		}
+		// Occasionally pre-drain some entries so the two heaps' internal
+		// arrangements diverge before the bulk insert.
+		for bulk.Len() > 0 && rng.Intn(4) == 0 {
+			bulk.Pop()
+			seq.Pop()
+		}
+		entries := make([]heapEntry, 0, len(batch))
+		for _, raw := range batch {
+			ord++
+			entries = append(entries, heapEntry{at: key(raw), ord: ord, ev: &event{}})
+			seq.Push(key(raw), ord, &event{})
+		}
+		bulk.PushAll(entries)
+		for {
+			b, bok := bulk.Pop()
+			s, sok := seq.Pop()
+			if bok != sok {
+				return false
+			}
+			if !bok {
+				return true
+			}
+			if b.at != s.at || b.ord != s.ord {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPushAllZeroAllocs: once the heap's backing array is warm, a bulk
+// insert-and-drain cycle allocates nothing — PushAll must stay off the
+// allocator just like Push, since it runs once per (destination, round) on
+// the barrier path.
+func TestPushAllZeroAllocs(t *testing.T) {
+	var h eventHeap
+	events := make([]*event, 64)
+	for i := range events {
+		events[i] = &event{}
+	}
+	batch := make([]heapEntry, len(events))
+	var ord uint64
+	cycle := func() {
+		for i := range batch {
+			ord++
+			batch[i] = heapEntry{at: Time(ord % 17), ord: ord, ev: events[i]}
+		}
+		h.PushAll(batch)
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	}
+	cycle() // warm the backing array
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Errorf("PushAll cycle allocates %.1f per run, want 0", avg)
+	}
+}
+
 func TestHeapPeek(t *testing.T) {
 	var h eventHeap
 	if _, ok := h.PeekTime(); ok {

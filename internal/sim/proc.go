@@ -82,12 +82,32 @@ func (p *Proc) park(cat Category) {
 // Advance consumes d of CPU time, attributed to cat. It models computation
 // (CatCompute), runtime bookkeeping (CatScheduling, CatCallback, ...), or any
 // other busy occupancy. Control returns after virtual time has advanced.
+//
+// Fast path: when the wake would be the very next event the shard pops —
+// nothing else is pending strictly before it, and it lands inside the
+// current window — firing it through the heap would hand control to the
+// event loop only for it to hand control straight back. Instead the clock
+// is bumped in place, skipping the heap round trip and the two goroutine
+// handoffs of park/transfer. Ties must take the slow path: a fresh wake
+// carries the largest ordering key, so an equal-time entry already in the
+// heap fires first.
 func (p *Proc) Advance(d Time, cat Category) {
 	if d <= 0 {
 		return
 	}
 	p.waitGen++
-	p.sh.atWake(d, p, p.waitGen)
+	s := p.sh
+	at := s.now + d
+	if at < s.end && !s.stopped && s.err == nil &&
+		(len(s.heap.e) == 0 || at < s.heap.e[0].at) {
+		start := s.now
+		s.now = at
+		s.fired++
+		p.acct[cat] += d
+		s.recordSpan(p.id, cat, start, at)
+		return
+	}
+	s.atWake(d, p, p.waitGen)
 	p.park(cat)
 }
 

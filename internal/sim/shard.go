@@ -3,9 +3,9 @@ package sim
 // shard owns one partition of the simulated processors: their event heap,
 // event free list, local virtual clock, per-(src,dst) FIFO state for
 // messages *sent* by its processors, span buffer, and outgoing cross-shard
-// mailboxes. Processors are assigned round-robin (proc i lives on shard
-// i mod S), which spreads the figure workloads' heavy low-index units
-// across shards.
+// mailboxes. Processors are assigned by Config.Partition (round-robin when
+// nil, which spreads the figure workloads' heavy low-index units across
+// shards; internal/bench adds blocked and load-aware strategies on top).
 //
 // Everything a shard touches while a window executes is owned by that shard
 // — the engine-level structures (procs slice, config, lookahead) are
@@ -17,6 +17,7 @@ type shard struct {
 	id  int
 
 	now   Time
+	end   Time // current window bound; 0 outside runWindow (closes the Advance fast path)
 	heap  eventHeap
 	fired uint64 // events executed (telemetry for perfbench's ns/event)
 
@@ -176,11 +177,20 @@ func (s *shard) transfer(p *Proc) {
 // window, so the pop order below — (at, ord) over an exclusively-owned heap
 // — is the shard's one and only event order, independent of S.
 //
-// The wake and deliver arms are inlined here rather than dispatched through
-// a helper: together they are >95% of fired events, and keeping them in the
-// loop body keeps the whole hot path — pop, clock bump, dispatch, free-list
-// release — in one frame.
+// It publishes the bound in s.end while draining so Proc.Advance can take
+// its in-window fast path, and clears it on exit so no processor resumed
+// outside a window (teardown) can advance the clock.
 func (s *shard) runWindow(end Time) {
+	s.end = end
+	s.drain(end)
+	s.end = 0
+}
+
+// drain is runWindow's loop body. The wake and deliver arms are inlined
+// here rather than dispatched through a helper: together they are >95% of
+// fired events, and keeping them in the loop body keeps the whole hot path
+// — pop, clock bump, dispatch, free-list release — in one frame.
+func (s *shard) drain(end Time) {
 	for !s.stopped && s.err == nil {
 		n := len(s.heap.e)
 		if n == 0 {

@@ -39,11 +39,18 @@ func spawnMeshWorkload(e *Engine, n, rounds int) {
 // output: the error, makespan, per-processor accounts, and the span CSV.
 func runMesh(t *testing.T, shards, n, rounds int) (Time, []Account, []byte) {
 	t.Helper()
-	e := NewEngine(Config{Seed: 42, Shards: shards})
+	return runMeshCfg(t, Config{Seed: 42, Shards: shards}, n, rounds)
+}
+
+// runMeshCfg is runMesh with full control over the engine configuration
+// (partition map, network zoning, window mode).
+func runMeshCfg(t *testing.T, cfg Config, n, rounds int) (Time, []Account, []byte) {
+	t.Helper()
+	e := NewEngine(cfg)
 	e.EnableTracing()
 	spawnMeshWorkload(e, n, rounds)
 	if err := e.Run(); err != nil {
-		t.Fatalf("shards=%d: %v", shards, err)
+		t.Fatalf("shards=%d: %v", cfg.Shards, err)
 	}
 	accts := make([]Account, n)
 	for i := 0; i < n; i++ {
@@ -137,6 +144,7 @@ func TestShardedPanicPropagates(t *testing.T) {
 // nothing. This pins the claim in Engine.exchange's doc comment.
 func TestCrossShardMailboxZeroAllocs(t *testing.T) {
 	e := NewEngine(Config{Shards: 2})
+	e.assign = []int{0, 1} // what Spawn would build for two procs, sans procs
 	src, dst := e.shards[0], e.shards[1]
 	m := &Msg{Src: 0, Dst: 1, Size: 8}
 	var sendSeq uint64
