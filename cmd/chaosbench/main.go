@@ -10,6 +10,7 @@
 //	           [-partition roundrobin|blocked|loaded] \
 //	           [-fault-plan "drop=0.2,dup=0.1"] [-fault-seed 1] \
 //	           [-rto 50ms] [-backend sim|real] [-timescale 1e-2] [-spin] \
+//	           [-recover] [-checkpoint-interval 1s] [-lease-timeout 500ms] \
 //	           [-trace trace.json] [-metrics metrics.txt]
 //
 // -trace/-metrics record every run through internal/trace (the tracing
@@ -34,6 +35,17 @@
 // The fault plan uses the internal/faulty syntax; see `-fault-plan ""` for a
 // clean sweep or e.g. "drop=0.2,dup=0.1;stall:2@100s+20s" to freeze a
 // processor mid-run.
+//
+// Fail-stop clauses ("crash:3@35s", optionally "recover:3@50s" for a rejoin)
+// additionally need -recover, which arms the crash-recovery subsystem on the
+// reliable and faulted legs: periodic object checkpoints (-checkpoint-interval,
+// virtual time), heartbeat leases for failure detection (-lease-timeout; the
+// real backend defaults to 250ms of wall clock), directory repair, and orphan
+// re-homing. A crashed run then finishes with the clean run's outcome. With no
+// crash in the plan, -recover leaves the reliable leg byte-identical: the
+// checkpoint costs accrue silently and only hit the ledgers once a crash
+// verdict fires. Processor 0 is the head node (it owns the completion counter)
+// and cannot be crashed.
 package main
 
 import (
@@ -64,6 +76,9 @@ func main() {
 	backend := flag.String("backend", "sim", "execution substrate: sim (deterministic) | real (goroutines)")
 	timescale := flag.Float64("timescale", 1e-2, "real backend: wall seconds per virtual second")
 	spin := flag.Bool("spin", false, "real backend: busy-wait instead of sleeping")
+	recoverOn := flag.Bool("recover", false, "arm the crash-recovery subsystem on the reliable and faulted legs (required for crash/recover plan clauses)")
+	ckptInterval := flag.Duration("checkpoint-interval", 0, "recovery: periodic object-checkpoint interval in virtual time (0 = default 1s)")
+	leaseTimeout := flag.Duration("lease-timeout", 0, "recovery: heartbeat lease timeout in virtual time (0 = default: 500ms on sim, 250ms of wall clock on real)")
 	traceOut := flag.String("trace", "", "write Chrome trace JSON per run (base path; figN.label is inserted before the extension)")
 	metricsOut := flag.String("metrics", "", "write aggregated trace metrics per run (base path, same suffixing; .json = JSON)")
 	traceRing := flag.Int("trace-ring", trace.DefaultRingCap, "per-processor trace ring capacity in events (rounded up to a power of two)")
@@ -106,6 +121,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chaosbench:", err)
 		os.Exit(2)
 	}
+	if *ckptInterval < 0 || *leaseTimeout < 0 {
+		fmt.Fprintf(os.Stderr, "chaosbench: -checkpoint-interval and -lease-timeout must be >= 0 (got %v, %v)\n", *ckptInterval, *leaseTimeout)
+		os.Exit(2)
+	}
+	if (len(plan.Crashes) > 0 || len(plan.Recovers) > 0) && !*recoverOn {
+		fmt.Fprintf(os.Stderr, "chaosbench: the fault plan schedules a fail-stop; add -recover to make it survivable (crash/recover clauses require the recovery subsystem)\n")
+		os.Exit(2)
+	}
+	if *recoverOn {
+		if *shards > 1 {
+			fmt.Fprintf(os.Stderr, "chaosbench: -recover requires a serial simulator; use -shards=1\n")
+			os.Exit(2)
+		}
+		for _, c := range plan.Crashes {
+			if c.Proc == 0 {
+				fmt.Fprintf(os.Stderr, "chaosbench: cannot crash processor 0: it is the head node and owns the completion counter\n")
+				os.Exit(2)
+			}
+			if c.Proc >= *procs {
+				fmt.Fprintf(os.Stderr, "chaosbench: crash targets processor %d but the machine has only %d (0..%d)\n", c.Proc, *procs, *procs-1)
+				os.Exit(2)
+			}
+		}
+	}
 	var specs []bench.FigureSpec
 	for _, f := range strings.Split(*figs, ",") {
 		id, err := strconv.Atoi(strings.TrimSpace(f))
@@ -138,7 +177,8 @@ func main() {
 		fmt.Printf("=== Figure %d scenario: imbalance %.0f%%, heavy = %.1fx light (procs=%d, units=%d, backend=%s) ===\n",
 			spec.ID, spec.Imbalance*100, spec.Ratio, w.Procs, w.Units, *backend)
 		sink.fig = spec.ID
-		if !run(w, *system, plan, *faultSeed, rel, *backend, *timescale, *spin, sink) {
+		rec := recovOpts{on: *recoverOn, interval: substrate.FromDuration(*ckptInterval), lease: substrate.FromDuration(*leaseTimeout)}
+		if !run(w, *system, plan, *faultSeed, rel, rec, *backend, *timescale, *spin, sink) {
 			failed = true
 		}
 		fmt.Println()
@@ -191,13 +231,28 @@ func (ts traceSink) write(label string, col *trace.Collector, r *bench.Result) b
 	return true
 }
 
+// recovOpts bundles the crash-recovery flags for one run.
+type recovOpts struct {
+	on              bool
+	interval, lease substrate.Time
+}
+
 // run executes the clean / reliable / faulted triple on one workload and
 // prints the comparison. Returns false if any check failed.
-func run(w bench.Workload, system string, plan faulty.Plan, faultSeed int64, rel dmcs.RelConfig, backend string, timescale float64, spin bool, sink traceSink) bool {
+func run(w bench.Workload, system string, plan faulty.Plan, faultSeed int64, rel dmcs.RelConfig, rec recovOpts, backend string, timescale float64, spin bool, sink traceSink) bool {
 	base := bench.ChaosSpec{System: system, Backend: backend, TimeScale: timescale, Spin: spin}
 
 	relSpec := base
 	relSpec.Rel = rel
+	if rec.on {
+		// Recovery rides on reliable delivery, so it arms on the reliable leg
+		// (and the faulted leg, which inherits). Without a crash in the plan
+		// this leg's output is byte-identical to a -recover-less run: the
+		// checkpoint costs stay off the ledgers until a verdict fires.
+		relSpec.Recover = true
+		relSpec.CheckpointInterval = rec.interval
+		relSpec.LeaseTimeout = rec.lease
+	}
 
 	faulted := relSpec
 	faulted.Plan = plan
@@ -238,8 +293,30 @@ func run(w bench.Workload, system string, plan faulty.Plan, faultSeed int64, rel
 				fRes.Counters["units_run"], clean.Counters["units_run"])
 			ok = false
 		}
+		reportRecovery(fRes, clean, w.Procs)
 	}
 	return ok
+}
+
+// reportRecovery prints the crash-recovery ledger for the faulted leg: what
+// the failure detector, directory repair, and replay did, and what the
+// checkpoints cost relative to the clean run. Prints nothing unless a crash
+// verdict actually fired, so fault plans without fail-stops keep today's
+// output.
+func reportRecovery(fRes, clean *bench.Result, procs int) {
+	rs := fRes.Recov
+	if rs == nil || rs.Suspects == 0 {
+		return
+	}
+	fmt.Printf("  recovery: suspects=%d objects_restored=%d replayed=%d units_skipped=%d lost_units=%d rejoins=%d\n",
+		rs.Suspects, rs.ObjectsRecovered, rs.EnvelopesReplayed, rs.UnitsSkipped,
+		fRes.Counters["recov_lost_units"], rs.Rejoins)
+	perProc := rs.Charged.Seconds() / float64(procs)
+	fmt.Printf("  checkpoints: %d rounds, %d objects, %d bytes; cost %.4fs/proc = %.2f%% of clean makespan\n",
+		rs.Checkpoints, rs.CheckpointObjects, rs.CheckpointBytes,
+		perProc, 100*perProc/clean.Makespan.Seconds())
+	fmt.Printf("  recovered-run makespan inflation: %+.2f%% vs clean\n",
+		100*(fRes.Makespan.Seconds()-clean.Makespan.Seconds())/clean.Makespan.Seconds())
 }
 
 // report prints one run's line and applies the conservation check.

@@ -8,6 +8,7 @@
 //	           [-jobs J] [-shards S] [-partition roundrobin|blocked|loaded] \
 //	           [-backend sim|real] [-timescale 1e-3] \
 //	           [-spin] [-fault-plan PLAN] [-fault-seed N] [-reliable] \
+//	           [-recover] [-checkpoint-interval 1s] [-lease-timeout 500ms] \
 //	           [-trace trace.json] [-metrics metrics.txt] [-trace-ring N]
 //
 // -trace records the run's event stream (internal/trace) and writes it as
@@ -25,6 +26,14 @@
 // the run survives them. Both apply to the PREMA configurations only; the
 // third-party baseline models are cost models without a real transport. For
 // dedicated chaos sweeps over the paper figures see cmd/chaosbench.
+//
+// -recover arms the crash-recovery subsystem (periodic object checkpoints,
+// heartbeat failure detection, directory repair, orphan re-homing) so
+// fail-stop clauses like "crash:3@35s" are survivable; it implies -reliable
+// and a serial simulator (-shards=1). -checkpoint-interval and -lease-timeout
+// tune its timers in virtual time. Without a crash in the plan, -recover
+// changes nothing: checkpoint costs stay off the ledgers until a crash
+// verdict fires, so the run is byte-identical to one without the flag.
 //
 // Systems: none, prema-explicit, prema-implicit, parmetis, charm,
 // charm-sync4 — plus prema-diffusion and prema-multilist for the policy
@@ -80,6 +89,9 @@ func main() {
 	planS := flag.String("fault-plan", "", "fault plan injected at the substrate seam (internal/faulty syntax; PREMA systems only)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
 	reliable := flag.Bool("reliable", false, "switch DMCS into reliable-delivery mode (PREMA systems only)")
+	recoverOn := flag.Bool("recover", false, "arm the crash-recovery subsystem so crash/recover plan clauses are survivable (implies -reliable; PREMA systems only)")
+	ckptInterval := flag.Duration("checkpoint-interval", 0, "recovery: periodic object-checkpoint interval in virtual time (0 = default 1s)")
+	leaseTimeout := flag.Duration("lease-timeout", 0, "recovery: heartbeat lease timeout in virtual time (0 = default: 500ms on sim, 250ms of wall clock on real)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline to FILE (PREMA systems only; multi-system mode suffixes the system name)")
 	metricsOut := flag.String("metrics", "", "write aggregated trace metrics to FILE (.json = JSON, else text; PREMA systems only)")
 	traceRing := flag.Int("trace-ring", trace.DefaultRingCap, "per-processor trace ring capacity in events (rounded up to a power of two)")
@@ -125,6 +137,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "premabench:", err)
 		os.Exit(2)
 	}
+	if *ckptInterval < 0 || *leaseTimeout < 0 {
+		fmt.Fprintf(os.Stderr, "premabench: -checkpoint-interval and -lease-timeout must be >= 0 (got %v, %v)\n", *ckptInterval, *leaseTimeout)
+		os.Exit(2)
+	}
+	if (len(plan.Crashes) > 0 || len(plan.Recovers) > 0) && !*recoverOn {
+		fmt.Fprintf(os.Stderr, "premabench: the fault plan schedules a fail-stop; add -recover to make it survivable\n")
+		os.Exit(2)
+	}
+	if *recoverOn {
+		if *shards > 1 {
+			fmt.Fprintf(os.Stderr, "premabench: -recover requires a serial simulator; use -shards=1\n")
+			os.Exit(2)
+		}
+		for _, c := range plan.Crashes {
+			if c.Proc == 0 {
+				fmt.Fprintf(os.Stderr, "premabench: cannot crash processor 0: it is the head node and owns the completion counter\n")
+				os.Exit(2)
+			}
+			if c.Proc >= *procs {
+				fmt.Fprintf(os.Stderr, "premabench: crash targets processor %d but the machine has only %d (0..%d)\n", c.Proc, *procs, *procs-1)
+				os.Exit(2)
+			}
+		}
+	}
 	w := bench.PaperWorkload(bench.FigureSpec{ID: 0, Imbalance: *imb, Ratio: *ratio}, *procs, *upp)
 	w.Shards = *shards
 	w.Partition = *partition
@@ -161,7 +197,7 @@ func main() {
 		}
 	}
 
-	chaos := plan.Active() || *reliable
+	chaos := plan.Active() || *reliable || *recoverOn
 	var results []*bench.Result
 	switch {
 	case chaos:
@@ -179,8 +215,13 @@ func main() {
 			TimeScale: *timescale,
 			Spin:      *spin,
 		}
-		if *reliable {
+		if *reliable || *recoverOn {
 			cs.Rel = dmcs.DefaultRelConfig()
+		}
+		if *recoverOn {
+			cs.Recover = true
+			cs.CheckpointInterval = substrate.FromDuration(*ckptInterval)
+			cs.LeaseTimeout = substrate.FromDuration(*leaseTimeout)
 		}
 		results, err = sweep.Map(*jobs, len(systems), func(i int) (*bench.Result, error) {
 			cs := cs

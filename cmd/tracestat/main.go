@@ -77,6 +77,10 @@ type procStat struct {
 	forwards   int
 	sends      int
 	retransmit int
+	ckpt       int
+	suspects   int
+	repairs    int
+	replays    int
 }
 
 func summarize(w *os.File, tf *traceFile, stride int) {
@@ -92,6 +96,7 @@ func summarize(w *os.File, tf *traceFile, stride int) {
 	phaseNames := map[string]bool{}
 	var hops []float64
 	var end float64
+	firstSuspect, lastRepair := -1.0, -1.0
 	for _, e := range tf.TraceEvents {
 		if t := e.Ts + e.Dur; t > end {
 			end = t
@@ -120,6 +125,23 @@ func summarize(w *os.File, tf *traceFile, stride int) {
 				p.sends++
 			case "retransmit":
 				p.retransmit++
+			case "checkpoint":
+				p.ckpt++
+			case "suspect":
+				p.suspects++
+				if firstSuspect < 0 || e.Ts < firstSuspect {
+					firstSuspect = e.Ts
+				}
+			case "repair":
+				p.repairs++
+				if e.Ts > lastRepair {
+					lastRepair = e.Ts
+				}
+			case "replay":
+				p.replays++
+				if e.Ts > lastRepair {
+					lastRepair = e.Ts
+				}
 			}
 		}
 	}
@@ -148,14 +170,22 @@ func summarize(w *os.File, tf *traceFile, stride int) {
 		tot.forwards += p.forwards
 		tot.sends += p.sends
 		tot.retransmit += p.retransmit
+		tot.ckpt += p.ckpt
+		tot.suspects += p.suspects
+		tot.repairs += p.repairs
+		tot.replays += p.replays
 		allUnits = append(allUnits, p.unitS...)
 	}
+	recovery := tot.ckpt+tot.suspects+tot.repairs+tot.replays > 0
 
 	fmt.Fprintf(w, "trace: %d processors, %d events, span %.3fs\n\n",
 		len(tids), len(tf.TraceEvents), end/1e6)
 
 	header := append([]string{"proc"}, names...)
 	header = append(header, "units", "mig-out", "mig-in", "fwd", "sends")
+	if recovery {
+		header = append(header, "ckpt", "suspect", "repair", "replay")
+	}
 	t := stats.NewTable(header...)
 	row := func(label string, p *procStat) {
 		cells := []any{label}
@@ -163,6 +193,9 @@ func summarize(w *os.File, tf *traceFile, stride int) {
 			cells = append(cells, fmt.Sprintf("%.2fs", p.phases[n]))
 		}
 		cells = append(cells, p.units, p.migOut, p.migIn, p.forwards, p.sends)
+		if recovery {
+			cells = append(cells, p.ckpt, p.suspects, p.repairs, p.replays)
+		}
 		t.AddRow(cells...)
 	}
 	if stride > 0 {
@@ -188,6 +221,20 @@ func summarize(w *os.File, tf *traceFile, stride int) {
 	}
 	if tot.retransmit > 0 {
 		fmt.Fprintf(w, "retransmissions: %d\n", tot.retransmit)
+	}
+	if tot.ckpt > 0 {
+		fmt.Fprintf(w, "checkpoints: %d rounds across the machine\n", tot.ckpt)
+	}
+	if tot.suspects > 0 {
+		fmt.Fprintf(w, "recovery: %d suspect verdicts, %d objects repaired, %d envelopes replayed\n",
+			tot.suspects, tot.repairs, tot.replays)
+		// Time-to-recovery: first down verdict to the last repair/replay the
+		// coordinator issued. Suspect verdicts with no repair activity (e.g.
+		// an object-free processor crashing) report zero.
+		if lastRepair >= firstSuspect {
+			fmt.Fprintf(w, "time to recovery: %.3fs (first suspect to last repair/replay)\n",
+				(lastRepair-firstSuspect)/1e6)
+		}
 	}
 	if len(allUnits) > 0 {
 		fmt.Fprintf(w, "work units: %d  p50=%.3fs p95=%.3fs p99=%.3fs max=%.3fs\n",

@@ -36,6 +36,18 @@ type ChaosSpec struct {
 	// Trace, when non-nil, attaches the event tracing decorator outermost
 	// (outside the fault injector) and records the run into this collector.
 	Trace *trace.Collector
+	// Recover enables the crash-recovery subsystem so crash (and recover)
+	// plan clauses are survivable. Requires Rel.Enabled and a serial
+	// simulator (Shards <= 1): cross-shard wall-clock interleaving would
+	// make verdict timing nondeterministic.
+	Recover bool
+	// CheckpointInterval and LeaseTimeout override the recov defaults. On
+	// the real backend a zero LeaseTimeout is auto-derived so that the lease
+	// spans 250ms of wall clock regardless of timescale (the sim default of
+	// 500ms virtual would be mere microseconds of wall time at small
+	// timescales — pure false-positive territory).
+	CheckpointInterval substrate.Time
+	LeaseTimeout       substrate.Time
 }
 
 // RunChaos executes the paper microbenchmark under a chaos spec and returns
@@ -47,6 +59,17 @@ func RunChaos(w Workload, cs ChaosSpec) (*Result, faulty.Stats, error) {
 		return nil, faulty.Stats{}, err
 	}
 	cfg.Rel = cs.Rel
+	if cs.Recover {
+		if !cs.Rel.Enabled {
+			return nil, faulty.Stats{}, fmt.Errorf("bench: recovery requires reliable delivery")
+		}
+		if w.Shards > 1 {
+			return nil, faulty.Stats{}, fmt.Errorf("bench: recovery requires a serial simulator (shards <= 1)")
+		}
+		cfg.Recover = true
+		cfg.CheckpointInterval = cs.CheckpointInterval
+		cfg.LeaseTimeout = cs.LeaseTimeout
+	}
 	var m substrate.Machine
 	switch cs.Backend {
 	case "", "sim":
@@ -58,6 +81,11 @@ func RunChaos(w Workload, cs ChaosSpec) (*Result, faulty.Stats, error) {
 			rc.TimeScale = cs.TimeScale
 		}
 		rc.Spin = cs.Spin
+		if cs.Recover && cs.LeaseTimeout <= 0 {
+			// Virtual lease sized so it spans 250ms of wall clock at this
+			// timescale (wall = virtual * TimeScale).
+			cfg.LeaseTimeout = substrate.Time(float64(250*substrate.Millisecond) / rc.TimeScale)
+		}
 		m = rtm.New(rc)
 	default:
 		return nil, faulty.Stats{}, fmt.Errorf("bench: unknown chaos backend %q (want sim or real)", cs.Backend)

@@ -5,9 +5,11 @@ import (
 
 	"prema/internal/core"
 	"prema/internal/dmcs"
+	"prema/internal/faulty"
 	"prema/internal/ilb"
 	"prema/internal/mol"
 	"prema/internal/policy"
+	"prema/internal/recov"
 	"prema/internal/substrate"
 )
 
@@ -32,6 +34,16 @@ type PremaConfig struct {
 	// The zero value keeps the classic fire-and-forget transport and the
 	// byte-identical paper-figure outputs.
 	Rel dmcs.RelConfig
+	// Recover enables the crash-recovery subsystem (internal/recov):
+	// checkpointed objects, lease-based failure detection, directory repair,
+	// and orphan re-homing, so faulty crash plans are survivable. Requires
+	// Rel.Enabled. A recovery-enabled run without a crash is byte-identical
+	// to one without recovery (checkpoint costs are charged, never timed).
+	Recover bool
+	// CheckpointInterval and LeaseTimeout override the recov defaults
+	// (zero = default: 1s checkpoints, 500ms leases, both virtual time).
+	CheckpointInterval substrate.Time
+	LeaseTimeout       substrate.Time
 }
 
 // DefaultPremaConfig returns the configuration used for the paper figures.
@@ -64,13 +76,25 @@ func RunPremaOn(m substrate.Machine, w Workload, cfg PremaConfig) (*Result, erro
 	if cfg.Balance {
 		name = "prema-" + cfg.Mode.String()
 	}
+	var store *recov.Store
+	if cfg.Recover {
+		store = recov.NewStore(recov.Config{
+			CheckpointInterval: cfg.CheckpointInterval,
+			LeaseTimeout:       cfg.LeaseTimeout,
+		})
+	}
 	policies := make([]*policy.WorkStealing, w.Procs)
 	unitsRun := make([]int, w.Procs)
 	resident := make([]int, w.Procs)
 	rels := make([]dmcs.RelStats, w.Procs)
 	mols := make([]mol.Stats, w.Procs)
-	for p := 0; p < w.Procs; p++ {
-		m.Spawn(fmt.Sprintf("p%03d", p), func(ep substrate.Endpoint) {
+	// body builds one processor incarnation. rejoin=true is the post-crash
+	// re-spawn: the same runtime stack and handler registration order (SPMD
+	// discipline), but no initial subdomains — the crashed incarnation's
+	// objects were already re-homed to survivors — and a hello broadcast so
+	// peers resume sequenced delivery to the fresh transport streams.
+	body := func(rejoin bool) func(substrate.Endpoint) {
+		return func(ep substrate.Endpoint) {
 			lbCfg := ilb.DefaultConfig(cfg.Mode)
 			lbCfg.WaterMark = cfg.WaterMark
 			if cfg.PollInterval > 0 {
@@ -79,7 +103,7 @@ func RunPremaOn(m substrate.Machine, w Workload, cfg PremaConfig) (*Result, erro
 			if cfg.PollEvery > 0 {
 				lbCfg.PollEvery = cfg.PollEvery
 			}
-			opts := core.Options{LB: lbCfg, Mol: mol.DefaultConfig(), Rel: cfg.Rel}
+			opts := core.Options{LB: lbCfg, Mol: mol.DefaultConfig(), Rel: cfg.Rel, Recovery: store}
 			if cfg.Balance {
 				ws := policy.NewWorkStealing(cfg.WS)
 				policies[ep.ID()] = ws
@@ -101,14 +125,18 @@ func RunPremaOn(m substrate.Machine, w Workload, cfg PremaConfig) (*Result, erro
 				r.Comm().SendTagged(0, hDone, nil, 8, substrate.TagApp)
 			})
 
-			// Step 2+3 of the benchmark: create and register this
-			// processor's initial subdomains as mobile objects and send
-			// each its computation message (setup is untimed on the
-			// simulator: registration and local enqueue cost no virtual
-			// time).
-			for _, u := range w.UnitsOf(ep.ID()) {
-				mp := r.Register(u, w.UnitBytes)
-				r.Message(mp, hWork, nil, 8, w.Hint(u))
+			if rejoin {
+				r.AnnounceRejoin()
+			} else {
+				// Step 2+3 of the benchmark: create and register this
+				// processor's initial subdomains as mobile objects and send
+				// each its computation message (setup is untimed on the
+				// simulator: registration and local enqueue cost no virtual
+				// time).
+				for _, u := range w.UnitsOf(ep.ID()) {
+					mp := r.Register(u, w.UnitBytes)
+					r.Message(mp, hWork, nil, 8, w.Hint(u))
+				}
 			}
 			r.Run()
 			// Application-level outcome, per processor. Each body writes
@@ -117,7 +145,15 @@ func RunPremaOn(m substrate.Machine, w Workload, cfg PremaConfig) (*Result, erro
 			resident[ep.ID()] = len(r.Mol().Local())
 			rels[ep.ID()] = r.Comm().RelStats()
 			mols[ep.ID()] = r.Mol().Stats
-		})
+		}
+	}
+	for p := 0; p < w.Procs; p++ {
+		m.Spawn(fmt.Sprintf("p%03d", p), body(false))
+	}
+	if store != nil {
+		if fm := findFaulty(m); fm != nil {
+			fm.OnRejoin(func(id int) func(substrate.Endpoint) { return body(true) })
+		}
 	}
 	if err := m.Run(); err != nil {
 		return nil, fmt.Errorf("bench %s: %w", name, err)
@@ -127,6 +163,11 @@ func RunPremaOn(m substrate.Machine, w Workload, cfg PremaConfig) (*Result, erro
 	var units int
 	for _, n := range unitsRun {
 		units += n
+	}
+	if store != nil {
+		// Units executed by crashed incarnations before their verdicts: done
+		// work whose processor slot was never written back.
+		units += store.LostUnits()
 	}
 	res.Counters["units_run"] = units
 	var dups int
@@ -167,7 +208,55 @@ func RunPremaOn(m substrate.Machine, w Workload, cfg PremaConfig) (*Result, erro
 		res.Counters["steal_nacks"] = nack
 		res.Counters["objects_migrated"] = moved
 	}
+	if store != nil {
+		rs := store.Stats()
+		res.Recov = &rs
+		// Crash-path counters appear only when something actually went down,
+		// so a recovery-enabled run without a crash reports byte-identically
+		// to one without recovery.
+		if downs := store.Downs(); downs > 0 {
+			res.Counters["recov_downs"] = downs
+			res.Counters["recov_lost_units"] = store.LostUnits()
+			res.Counters["recov_objects_restored"] = rs.ObjectsRecovered
+			res.Counters["recov_replayed"] = rs.EnvelopesReplayed
+			res.Counters["recov_units_skipped"] = rs.UnitsSkipped
+			if rs.Rejoins > 0 {
+				res.Counters["recov_rejoins"] = rs.Rejoins
+			}
+			var deadDropped, deadSent int
+			for _, s := range rels {
+				deadDropped += s.DeadDropped
+				deadSent += s.DeadSent
+			}
+			res.Counters["rel_dead_dropped"] = deadDropped
+			res.Counters["rel_dead_sent"] = deadSent
+			var recovered, held int
+			for _, s := range mols {
+				recovered += s.Recovered
+				held += s.RestoreHeld
+			}
+			res.Counters["mol_recovered"] = recovered
+			if held > 0 {
+				res.Counters["mol_restore_held"] = held
+			}
+		}
+	}
 	return res, nil
+}
+
+// findFaulty walks a decorator chain (trace, ...) down to the fault
+// injector, which is where crashed processors come back from (OnRejoin).
+func findFaulty(m substrate.Machine) *faulty.Machine {
+	for {
+		if fm, ok := m.(*faulty.Machine); ok {
+			return fm
+		}
+		u, ok := m.(interface{ Unwrap() substrate.Machine })
+		if !ok {
+			return nil
+		}
+		m = u.Unwrap()
+	}
 }
 
 // engineStats is the simulator engine telemetry surface. sim.Machine

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"prema/internal/recov"
 	"prema/internal/stats"
 	"prema/internal/substrate"
 )
@@ -31,6 +32,10 @@ type Result struct {
 	// The chaos harness uses it to check object conservation — every
 	// registered object lives on exactly one processor, dup or no dup.
 	Resident []int
+	// Recov is the machine-wide crash-recovery ledger (nil unless the run
+	// had PremaConfig.Recover set): checkpoints taken, charged overhead,
+	// crash verdicts, objects re-homed, envelopes replayed.
+	Recov *recov.Stats
 
 	// Engine telemetry (simulator backend only; zero/nil on the real
 	// backend or behind wrapping decorators). These describe the host-side

@@ -21,6 +21,7 @@ import (
 	"prema/internal/dmcs"
 	"prema/internal/ilb"
 	"prema/internal/mol"
+	"prema/internal/recov"
 	"prema/internal/substrate"
 	"prema/internal/trace"
 )
@@ -41,6 +42,13 @@ type Options struct {
 	// The zero value keeps the classic fire-and-forget transport. All
 	// processors must agree (SPMD discipline).
 	Rel dmcs.RelConfig
+	// Recovery, when non-nil, is the run's shared crash-recovery store: the
+	// runtime joins it, heartbeats through the scheduler loop, checkpoints
+	// resident objects, and survives fail-stop crashes of peer processors
+	// (see internal/recov). All processors must share one store (SPMD
+	// discipline); reliable delivery (Rel.Enabled) is required, since
+	// recovery replay assumes the transport retransmits into live peers.
+	Recovery *recov.Store
 }
 
 // DefaultOptions returns the options used by the paper's experiments for
@@ -62,6 +70,10 @@ type Runtime struct {
 
 	hStop    dmcs.HandlerID
 	stopSent bool
+
+	// Crash recovery (nil / zero unless Options.Recovery was set).
+	rp     *recov.Proc
+	hHello dmcs.HandlerID
 }
 
 // NewRuntime builds the PREMA stack on a substrate endpoint — a simulated
@@ -81,6 +93,18 @@ func NewRuntime(p substrate.Endpoint, opt Options) *Runtime {
 	r.hStop = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
 		s.Stop()
 	})
+	if opt.Recovery != nil {
+		r.rp = opt.Recovery.Join(p)
+		l.AttachRecov(r.rp)
+		s.AttachRecov(r.rp)
+		s.OnProcDown(r.handleDown)
+		r.hHello = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+			// A crashed peer announcing its rejoin: resume sequenced delivery
+			// to it (this hello is already the first message of its fresh
+			// incarnation's streams).
+			c.MarkAlive(src)
+		})
+	}
 	return r
 }
 
@@ -147,6 +171,11 @@ func (r *Runtime) Poll() { r.s.Poll() }
 // dropped stop message would strand a peer forever.
 func (r *Runtime) Run() {
 	r.s.Run()
+	if r.rp != nil {
+		// Retire before the drain: a processor blocked in Quiesce no longer
+		// heartbeats, and must not ripen into a false crash verdict.
+		r.rp.Retire()
+	}
 	r.c.Quiesce()
 }
 

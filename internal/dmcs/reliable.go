@@ -96,6 +96,12 @@ type RelStats struct {
 	DupDropped int
 	// Held is the number of out-of-order arrivals buffered for reordering.
 	Held int
+	// DeadDropped is the number of buffered unacked messages discarded when
+	// their destination was declared dead (MarkDead).
+	DeadDropped int
+	// DeadSent counts messages sent to a dead-marked peer as unsequenced
+	// fire-and-forget transmissions (delivered iff the peer rejoins in time).
+	DeadSent int
 }
 
 // stream identifies one direction of one traffic class to/from one peer.
@@ -140,6 +146,10 @@ type reliable struct {
 
 	// ready holds in-sequence messages awaiting dispatch, in release order.
 	ready []*substrate.Msg
+
+	// dead marks peers under a fail-stop verdict: no buffering, no
+	// retransmission, no sequencing toward them (see Comm.MarkDead).
+	dead map[int]bool
 
 	// lastActivity is the time of the most recent protocol event (arrival,
 	// ack, retransmission); Quiesce lingers relative to it.
@@ -215,9 +225,91 @@ func (r *reliable) recvStream(peer, tag int) *recvState {
 	return st
 }
 
+// MarkDead records a fail-stop verdict for peer: all unacked messages
+// buffered toward it are discarded (they will never be acked — counted in
+// RelStats.DeadDropped) and both stream directions are forgotten, so Quiesce
+// no longer waits out DrainTimeout for a processor that cannot answer.
+// Subsequent sends to the peer go out once, unsequenced (see relSend), which
+// is exactly the fire-and-forget semantics a dead destination deserves —
+// and still reaches the peer if it rejoins before the message is consumed.
+// No-op in fire-and-forget mode or when the peer is already marked.
+func (c *Comm) MarkDead(peer int) {
+	r := c.rel
+	if r == nil || r.dead[peer] {
+		return
+	}
+	if r.dead == nil {
+		r.dead = make(map[int]bool)
+	}
+	r.dead[peer] = true
+	r.dropPeerState(peer)
+}
+
+// MarkAlive clears a peer's dead verdict after it rejoins. The stream state
+// toward the peer was already dropped at MarkDead and nothing sequenced was
+// buffered since, so both sides naturally restart their streams at sequence
+// 1: our next send lazily creates a fresh stream, and the rejoined
+// processor's fresh Comm did the same for its own sends (its hello message,
+// which triggers this call, already advanced our fresh receive stream — which
+// is why no state must be dropped here). Stale in-flight messages from the
+// crashed incarnation can recreate receive state early with old sequence
+// numbers held; the MOL/ILB per-origin watermarks discard those if the
+// rejoined stream ever reaches them.
+func (c *Comm) MarkAlive(peer int) {
+	r := c.rel
+	if r == nil || !r.dead[peer] {
+		return
+	}
+	delete(r.dead, peer)
+}
+
+// DeadPeers returns the number of peers currently marked dead.
+func (c *Comm) DeadPeers() int {
+	if c.rel == nil {
+		return 0
+	}
+	return len(c.rel.dead)
+}
+
+// dropPeerState forgets all send and receive stream state toward peer.
+func (r *reliable) dropPeerState(peer int) {
+	keep := r.sendOrder[:0]
+	for _, k := range r.sendOrder {
+		if k.peer == peer {
+			r.stats.DeadDropped += len(r.send[k].pending)
+			delete(r.send, k)
+			continue
+		}
+		keep = append(keep, k)
+	}
+	r.sendOrder = keep
+	keep = r.recvOrder[:0]
+	for _, k := range r.recvOrder {
+		if k.peer == peer {
+			delete(r.recv, k)
+			continue
+		}
+		keep = append(keep, k)
+	}
+	r.recvOrder = keep
+}
+
 // relSend sequences and transmits a new data message, buffering it for
 // retransmission.
 func (c *Comm) relSend(dst int, h HandlerID, data any, size int, tag int) {
+	if c.rel.dead[dst] {
+		// Dead destination: transmit once, unsequenced (the receiving side's
+		// accept() passes Seq==0 straight through), and buffer nothing.
+		c.rel.stats.DeadSent++
+		c.p.Send(&substrate.Msg{
+			Dst:  dst,
+			Kind: int(h),
+			Tag:  tag,
+			Data: data,
+			Size: size,
+		}, substrate.CatMessaging)
+		return
+	}
 	st := c.rel.sendStream(dst, tag)
 	seq := st.nextSeq
 	st.nextSeq++

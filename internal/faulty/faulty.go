@@ -19,6 +19,7 @@ type Stats struct {
 	Reordered int
 	Stalls    int
 	Crashed   bool
+	Rejoins   int
 }
 
 // Add accumulates another endpoint's stats.
@@ -31,17 +32,27 @@ func (s *Stats) Add(o Stats) {
 	if o.Crashed {
 		s.Crashed = true
 	}
+	s.Rejoins += o.Rejoins
 }
 
 // Machine decorates an inner substrate.Machine with deterministic fault
 // injection. Build one with Wrap, then use it exactly like the inner
 // machine.
 type Machine struct {
-	inner substrate.Machine
-	plan  Plan
-	seed  int64
-	eps   []*Endpoint
+	inner    substrate.Machine
+	plan     Plan
+	seed     int64
+	eps      []*Endpoint
+	onRejoin func(id int) func(substrate.Endpoint)
 }
+
+// OnRejoin installs the factory that produces a rejoined processor's body.
+// When the plan schedules a `recover:` entry for a crashed processor, the
+// Spawn wrapper calls fn(id) at the rejoin time and runs the returned body
+// against the same (reset) fault-injecting endpoint — a fresh incarnation
+// with an empty inbox. Without a factory, `recover:` entries are ignored and
+// a crash stays permanent. Call before Run.
+func (f *Machine) OnRejoin(fn func(id int) func(substrate.Endpoint)) { f.onRejoin = fn }
 
 // Wrap returns a fault-injecting view of m. seed drives every injection
 // decision: each endpoint derives its own stream (seed+ID), so faulted runs
@@ -73,19 +84,41 @@ func (f *Machine) Spawn(name string, body func(substrate.Endpoint)) {
 			fe.crashAt = c.At
 		}
 	}
+	for _, r := range f.plan.Recovers {
+		if r.Proc == id {
+			fe.rejoins = append(fe.rejoins, r)
+		}
+	}
+	sort.Slice(fe.rejoins, func(i, j int) bool { return fe.rejoins[i].At < fe.rejoins[j].At })
 	f.eps = append(f.eps, fe)
 	f.inner.Spawn(name, func(ep substrate.Endpoint) {
 		fe.inner = ep
-		defer func() {
-			if r := recover(); r != nil {
-				if cs, ok := r.(crashSignal); ok && cs.proc == id {
-					return // fail-stop: swallow, machine keeps running
-				}
-				panic(r)
+		runBody(id, func() { body(fe) })
+		// Scheduled rejoins: each crash may be followed by one fresh
+		// incarnation running the OnRejoin body.
+		for fe.crashed && f.onRejoin != nil {
+			t, ok := fe.popRejoin()
+			if !ok {
+				return
 			}
-		}()
-		body(fe)
+			fe.rejoin(t)
+			runBody(id, func() { f.onRejoin(id)(fe) })
+		}
 	})
+}
+
+// runBody runs one incarnation of processor id's body, absorbing the
+// crashSignal panic that models its fail-stop (the machine keeps running).
+func runBody(id int, body func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if cs, ok := r.(crashSignal); ok && cs.proc == id {
+				return
+			}
+			panic(r)
+		}
+	}()
+	body()
 }
 
 // Run implements substrate.Machine.
@@ -150,7 +183,50 @@ type Endpoint struct {
 	stalls  []Stall // sorted by At; applied and popped in order
 	crashAt substrate.Time
 	crashed bool
+	rejoins []Recover // sorted by At; popped at each rejoin
 	stats   Stats
+}
+
+// popRejoin consumes the next scheduled rejoin, clamped to the present (a
+// rejoin time already in the past fires immediately).
+func (e *Endpoint) popRejoin() (substrate.Time, bool) {
+	if len(e.rejoins) == 0 {
+		return 0, false
+	}
+	t := e.rejoins[0].At
+	e.rejoins = e.rejoins[1:]
+	if now := e.inner.Now(); t < now {
+		t = now
+	}
+	return t, true
+}
+
+// rejoin resets the endpoint to a fresh incarnation at time t: the clock
+// idles forward to t (the processor was down), everything queued at the
+// inner endpoint or held by the fault layer while it was dead is discarded
+// (a fail-stop loses its inbox), and the crash/stall schedules are re-armed
+// for the new incarnation.
+func (e *Endpoint) rejoin(t substrate.Time) {
+	if d := t - e.inner.Now(); d > 0 {
+		e.inner.Advance(d, substrate.CatIdle)
+	}
+	for e.inner.InboxLen() > 0 {
+		if e.inner.TryRecv(substrate.CatMessaging) == nil {
+			break
+		}
+	}
+	e.queue = nil
+	e.crashed = false
+	e.stats.Rejoins++
+	e.crashAt = -1
+	for _, c := range e.f.plan.Crashes {
+		if c.Proc == e.id && c.At > t && (e.crashAt < 0 || c.At < e.crashAt) {
+			e.crashAt = c.At
+		}
+	}
+	for len(e.stalls) > 0 && e.stalls[0].At <= t {
+		e.stalls = e.stalls[1:]
+	}
 }
 
 var _ substrate.Endpoint = (*Endpoint)(nil)

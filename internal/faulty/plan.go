@@ -82,6 +82,16 @@ type Crash struct {
 	At   substrate.Time
 }
 
+// Recover schedules a crashed processor's rejoin: at time At the processor
+// comes back as a fresh incarnation — empty inbox (everything queued while it
+// was down is lost), fresh protocol state — running the body installed with
+// Machine.OnRejoin. A Recover without a preceding Crash for the same
+// processor is a plan validation error; see Plan.Validate.
+type Recover struct {
+	Proc int
+	At   substrate.Time
+}
+
 // Plan is a declarative fault schedule for a whole machine.
 type Plan struct {
 	// Default applies to every link without an explicit override.
@@ -92,12 +102,14 @@ type Plan struct {
 	Stalls []Stall
 	// Crashes are scheduled fail-stops.
 	Crashes []Crash
+	// Recovers are scheduled rejoins of crashed processors.
+	Recovers []Recover
 }
 
 // Active reports whether the plan injects anything at all. Wrapping a
 // machine with an inactive plan is a semantic no-op (but still interposes).
 func (p Plan) Active() bool {
-	if p.Default.active() || len(p.Stalls) > 0 || len(p.Crashes) > 0 {
+	if p.Default.active() || len(p.Stalls) > 0 || len(p.Crashes) > 0 || len(p.Recovers) > 0 {
 		return true
 	}
 	for _, lf := range p.Links {
@@ -141,6 +153,9 @@ func (p Plan) String() string {
 	for _, c := range p.Crashes {
 		parts = append(parts, fmt.Sprintf("crash:%d@%s", c.Proc, renderDur(c.At)))
 	}
+	for _, r := range p.Recovers {
+		parts = append(parts, fmt.Sprintf("recover:%d@%s", r.Proc, renderDur(r.At)))
+	}
 	if len(parts) == 0 {
 		return "none"
 	}
@@ -173,9 +188,11 @@ func renderDur(t substrate.Time) string { return t.Duration().String() }
 //	link:SRC-DST:drop=P,...                    one directed link's override
 //	stall:PROC@AT+FOR                          e.g. stall:2@5s+500ms
 //	crash:PROC@AT                              e.g. crash:7@20s
+//	recover:PROC@AT                            e.g. recover:7@40s
 //
 // Durations use Go syntax ("10ms", "5s"). "none" or "" parses to the empty
-// plan.
+// plan. The parsed plan is checked with Validate, so crash/recover schedules
+// that make no sense (a rejoin with no preceding crash) are rejected here.
 func ParsePlan(s string) (Plan, error) {
 	p := Plan{}
 	s = strings.TrimSpace(s)
@@ -249,6 +266,21 @@ func ParsePlan(s string) (Plan, error) {
 				return p, err
 			}
 			p.Crashes = append(p.Crashes, Crash{Proc: proc, At: at})
+		case strings.HasPrefix(clause, "recover:"):
+			rest := clause[len("recover:"):]
+			procS, atS, ok := strings.Cut(rest, "@")
+			if !ok {
+				return p, fmt.Errorf("faulty: recover clause %q wants recover:PROC@AT", clause)
+			}
+			proc, err := strconv.Atoi(procS)
+			if err != nil || proc < 0 {
+				return p, fmt.Errorf("faulty: bad recover processor %q", procS)
+			}
+			at, err := parseDur(atS)
+			if err != nil {
+				return p, err
+			}
+			p.Recovers = append(p.Recovers, Recover{Proc: proc, At: at})
 		default:
 			lf, err := parseLinkFaults(clause)
 			if err != nil {
@@ -257,7 +289,48 @@ func ParsePlan(s string) (Plan, error) {
 			p.Default = lf
 		}
 	}
+	if err := p.Validate(); err != nil {
+		return p, err
+	}
 	return p, nil
+}
+
+// Validate checks the crash/recover schedule for internal consistency: per
+// processor, crashes and recovers must strictly alternate starting with a
+// crash (crash[0] < recover[0] < crash[1] < recover[1] < ...), and there can
+// be at most one recover per crash. Link and stall clauses are always valid.
+func (p Plan) Validate() error {
+	crashes := map[int][]substrate.Time{}
+	for _, c := range p.Crashes {
+		crashes[c.Proc] = append(crashes[c.Proc], c.At)
+	}
+	recovers := map[int][]substrate.Time{}
+	procs := []int{}
+	for _, r := range p.Recovers {
+		if len(recovers[r.Proc]) == 0 {
+			procs = append(procs, r.Proc)
+		}
+		recovers[r.Proc] = append(recovers[r.Proc], r.At)
+	}
+	sort.Ints(procs)
+	for _, proc := range procs {
+		rs := recovers[proc]
+		cs := crashes[proc]
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+		if len(rs) > len(cs) {
+			return fmt.Errorf("faulty: %d recover entries for processor %d but only %d crashes", len(rs), proc, len(cs))
+		}
+		for i, rt := range rs {
+			if rt <= cs[i] {
+				return fmt.Errorf("faulty: recover:%d@%s is not after its crash at %s", proc, renderDur(rt), renderDur(cs[i]))
+			}
+			if i+1 < len(cs) && rt >= cs[i+1] {
+				return fmt.Errorf("faulty: recover:%d@%s is not before the next crash at %s", proc, renderDur(rt), renderDur(cs[i+1]))
+			}
+		}
+	}
+	return nil
 }
 
 func parseLinkFaults(s string) (LinkFaults, error) {

@@ -19,6 +19,7 @@ import (
 
 	"prema/internal/dmcs"
 	"prema/internal/mol"
+	"prema/internal/recov"
 	"prema/internal/substrate"
 	"prema/internal/trace"
 )
@@ -154,6 +155,11 @@ type Scheduler struct {
 	current   *Unit   // unit whose handler is executing, if any
 	sincePoll int     // units executed since the last posted poll
 	stopped   bool
+
+	// Crash recovery (nil / empty unless AttachRecov was called).
+	rp            *recov.Proc
+	onDown        []func(recov.Down)
+	pendingCharge substrate.Time // accrued checkpoint cost not yet on the ledger
 
 	Stats Stats
 }
@@ -354,6 +360,11 @@ func (s *Scheduler) checkLoad() {
 // Compute interleaves the polling thread, which preemptively drains
 // system-tagged balancer messages every PollInterval.
 func (s *Scheduler) Compute(d substrate.Time) {
+	// A long unit must not expire our own lease: pre-extend it to cover the
+	// whole computation before burning the time.
+	if s.rp != nil {
+		s.rp.Extend(s.p.Now() + d)
+	}
 	if s.cfg.Mode == Explicit || s.cfg.PollInterval <= 0 {
 		s.p.Advance(d, substrate.CatCompute)
 		return
@@ -383,10 +394,17 @@ func (s *Scheduler) pollThread() {
 		s.p.Advance(s.cfg.PollCost, substrate.CatPollThread)
 	}
 	s.c.PollTag(substrate.TagSystem)
+	s.recovTick()
 }
 
 // execute runs one work unit to completion.
 func (s *Scheduler) execute(u *Unit) {
+	id := recov.ObjID{Home: u.Obj.MP.Home, Index: u.Obj.MP.Index}
+	if s.rp != nil && !s.rp.BeginUnit(id, u.Env.Origin, u.Env.Seq) {
+		// Already executed before a crash (durable in the done watermark):
+		// a replayed duplicate, skipped to keep execution exactly-once.
+		return
+	}
 	if s.cfg.ScheduleCPU > 0 {
 		s.p.Advance(s.cfg.ScheduleCPU, substrate.CatScheduling)
 	}
@@ -396,6 +414,11 @@ func (s *Scheduler) execute(u *Unit) {
 	t0 := s.p.Now()
 	s.tr.Instant(trace.EvUnitBegin, t0, key, int64(u.Env.Origin), int64(u.Env.Seq))
 	s.l.Dispatch(u.Obj, u.Env)
+	if s.rp != nil {
+		// Record the execution synchronously — before any further substrate
+		// interaction — so a fail-stop can never forget the unit ran.
+		s.rp.FinishUnit(id, u.Env.Origin, u.Env.Seq)
+	}
 	s.tr.Interval(trace.EvUnitEnd, t0, s.p.Now(), key, int64(u.Env.Origin), int64(u.Env.Seq))
 	s.current = nil
 }
@@ -407,6 +430,7 @@ func (s *Scheduler) Step() bool {
 	if s.stopped {
 		return false
 	}
+	s.recovTick()
 	every := s.cfg.PollEvery
 	if every < 1 {
 		every = 1

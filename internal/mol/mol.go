@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"prema/internal/dmcs"
+	"prema/internal/recov"
 	"prema/internal/substrate"
 	"prema/internal/trace"
 )
@@ -106,6 +107,12 @@ type Stats struct {
 	// MigrationsDup counts duplicate migration messages ignored because the
 	// object was already resident.
 	MigrationsDup int
+	// Recovered counts orphaned objects installed here from checkpoints
+	// after a crash (recovery.go).
+	Recovered int
+	// RestoreHeld counts envelopes parked because their forwarding chain
+	// dead-ended in a crashed processor, awaiting directory repair.
+	RestoreHeld int
 }
 
 // DeliverFunc receives in-order messages for locally installed objects.
@@ -161,6 +168,12 @@ type Layer struct {
 	hEnvelope dmcs.HandlerID
 	hMigrate  dmcs.HandlerID
 	hLocation dmcs.HandlerID
+	hRestore  dmcs.HandlerID
+
+	// Crash-recovery state (recovery.go). rp is nil unless AttachRecov was
+	// called; every recovery hook is a no-op then.
+	rp          *recov.Proc
+	restoreHold []*Envelope
 
 	// Remote data access state (access.go).
 	accessReady bool
@@ -210,6 +223,11 @@ func New(c *dmcs.Comm, cfg Config) *Layer {
 			l.lastKnown[u.mp] = u.loc
 		}
 	})
+	// Registered unconditionally so handler IDs stay SPMD-consistent whether
+	// or not this run attaches a recovery store.
+	l.hRestore = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+		l.installRecovered(data.(*recov.Checkpoint))
+	})
 	return l
 }
 
@@ -248,6 +266,9 @@ func (l *Layer) Register(data any, size int) MobilePtr {
 		expect: make(map[int]uint64),
 		hold:   make(map[holdKey]*Envelope),
 	})
+	if l.rp != nil {
+		l.rp.ObjectHome(oid(mp), data, size, 0)
+	}
 	return mp
 }
 
@@ -270,6 +291,13 @@ func (l *Layer) bestGuess(mp MobilePtr) int {
 	}
 	if loc, ok := l.lastKnown[mp]; ok {
 		return loc
+	}
+	if l.rp != nil {
+		// PeerDown purged cache entries through dead processors; the recovery
+		// manifest knows where directory repair put the object.
+		if loc, ok := l.rp.Location(oid(mp)); ok && !l.rp.IsDown(loc) {
+			return loc
+		}
 	}
 	return mp.Home // the home processor always has a directory entry
 }
@@ -303,6 +331,11 @@ func (l *Layer) MessageWeighted(mp MobilePtr, h HandlerID, data any, size int, t
 		Weight:  weight,
 	}
 	l.nextSeq[mp]++
+	if l.rp != nil {
+		// Origin-side envelope log: kept until the unit is known executed, so
+		// a recovery coordinator can replay anything a crash swallowed.
+		l.rp.LogEnvelope(oid(mp), env.Origin, env.Seq, env, size)
+	}
 	if _, local := l.objects[mp]; local {
 		l.Stats.MessagesLocal++
 		l.arrive(env)
@@ -362,6 +395,20 @@ func (l *Layer) deliverInOrder(obj *Object, env *Envelope) {
 // forward relays a misdelivered envelope toward the object's current host
 // and, when configured, tells the origin about the better location.
 func (l *Layer) forward(env *Envelope) {
+	next := l.bestGuess(env.MP)
+	if next == l.Proc().ID() {
+		// Stale self-reference: fall back to the home directory.
+		next = env.MP.Home
+	}
+	if l.rp != nil && (next == l.Proc().ID() || l.rp.IsDown(next)) {
+		// The chain dead-ends in a crashed processor (or in ourselves, with
+		// the directory pointing nowhere live): park the envelope until
+		// directory repair re-resolves the object instead of dropping it
+		// into a black hole. RetryHeld re-runs it.
+		l.Stats.RestoreHeld++
+		l.restoreHold = append(l.restoreHold, env)
+		return
+	}
 	l.Stats.Forwards++
 	env.Hops++
 	if env.Hops > 1<<16 {
@@ -369,11 +416,6 @@ func (l *Layer) forward(env *Envelope) {
 	}
 	if l.cfg.ForwardCPU > 0 {
 		l.Proc().Advance(l.cfg.ForwardCPU, substrate.CatMessaging)
-	}
-	next := l.bestGuess(env.MP)
-	if next == l.Proc().ID() {
-		// Stale self-reference: fall back to the home directory.
-		next = env.MP.Home
 	}
 	l.tr.Instant(trace.EvForward, l.Proc().Now(), int64(next), int64(env.Hops), int64(env.Size))
 	l.c.SendTagged(next, l.hEnvelope, env, env.Size+envelopeHeader, env.Tag)
@@ -405,6 +447,13 @@ func (l *Layer) Migrate(mp MobilePtr, dst int) error {
 	size := obj.Size + l.cfg.MigrateFixed + 16*len(obj.hold)
 	l.tr.Instant(trace.EvMigrateOut, l.Proc().Now(), int64(dst), trace.ObjKey(mp.Home, mp.Index), int64(size))
 	l.c.SendTagged(dst, l.hMigrate, &migration{obj: obj, extra: extra}, size, substrate.TagSystem)
+	if l.rp != nil {
+		// Migration-piggybacked checkpoint. The manifest flips to dst only
+		// after the migration message is irrevocably on the wire: a fail-stop
+		// any earlier leaves the object an orphan of this processor, never
+		// double-homed.
+		l.rp.ObjectDeparting(oid(mp), dst, obj.Data, obj.Size, obj.Weight)
+	}
 	return nil
 }
 
@@ -421,6 +470,9 @@ func (l *Layer) migrateIn(src int, m *migration) {
 	l.Stats.MigrationsIn++
 	l.tr.Instant(trace.EvMigrateIn, l.Proc().Now(), int64(src), trace.ObjKey(obj.MP.Home, obj.MP.Index), int64(obj.Size))
 	l.install(obj)
+	if l.rp != nil {
+		l.rp.ObjectLanded(oid(obj.MP), obj.Data, obj.Size, obj.Weight)
+	}
 	if l.OnMigrateIn != nil {
 		l.OnMigrateIn(obj, m.extra)
 	}
@@ -432,6 +484,7 @@ func (l *Layer) migrateIn(src int, m *migration) {
 	// Some held envelopes may now be deliverable (e.g. their predecessors
 	// were consumed before migration).
 	l.drainHold(obj)
+	l.drainRestoreHold(obj.MP)
 }
 
 func (l *Layer) drainHold(obj *Object) {

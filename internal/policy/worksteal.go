@@ -143,11 +143,19 @@ func (w *WorkStealing) advancePartner(s *ilb.Scheduler) {
 		return
 	}
 	rng := s.Proc().Rand()
-	next := rng.Intn(n - 1)
-	if next >= s.Proc().ID() {
-		next++
+	// Redraw on crashed peers (recovery mode only; PeerDown is always false
+	// otherwise, so RNG consumption — and hence determinism — is unchanged
+	// in crash-free runs).
+	for tries := 0; tries < n; tries++ {
+		next := rng.Intn(n - 1)
+		if next >= s.Proc().ID() {
+			next++
+		}
+		if !s.PeerDown(next) {
+			w.partner = next
+			return
+		}
 	}
-	w.partner = next
 }
 
 // maybeRequest issues a steal request if none is outstanding and the policy
@@ -158,6 +166,12 @@ func (w *WorkStealing) maybeRequest(s *ilb.Scheduler) {
 	}
 	if s.Proc().Now() < w.backoffUntil {
 		return
+	}
+	if s.PeerDown(w.partner) {
+		w.advancePartner(s)
+		if s.PeerDown(w.partner) {
+			return // no live victim to ask
+		}
 	}
 	w.outstanding = true
 	w.Stats.Requests++
@@ -237,6 +251,21 @@ func (w *WorkStealing) donate(s *ilb.Scheduler, dst int, requesterLoad float64) 
 		}
 	}
 	return moved
+}
+
+// OnProcDown implements ilb.DownAware: a crashed processor can neither
+// answer our outstanding steal request nor serve as a future victim.
+func (w *WorkStealing) OnProcDown(s *ilb.Scheduler, dead int) {
+	if w.outstanding && w.partner == dead {
+		// The victim died holding our request: treat it as a refusal (without
+		// an RTT sample — the response never existed) and move on.
+		w.outstanding = false
+		w.nacksInSweep++
+	}
+	if w.partner == dead {
+		w.advancePartner(s)
+	}
+	w.maybeRequest(s)
 }
 
 // OnLowLoad implements ilb.Policy.

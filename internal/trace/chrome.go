@@ -100,6 +100,18 @@ func (c *Collector) WriteChrome(w io.Writer) error {
 			case EvStop:
 				emit(`{"name":"stop-broadcast","cat":"app","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"peers":%d}}`,
 					chromeTS(e.T), i, e.A)
+			case EvCheckpoint:
+				emit(`{"name":"checkpoint","cat":"recov","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"objects":%d,"bytes":%d}}`,
+					chromeTS(e.T), i, e.A, e.B)
+			case EvSuspect:
+				emit(`{"name":"suspect","cat":"recov","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"proc":%d,"coordinator":%d}}`,
+					chromeTS(e.T), i, e.A, e.B)
+			case EvRepair:
+				emit(`{"name":"repair","cat":"recov","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"obj":"%d:%d","from":%d,"bytes":%d}}`,
+					chromeTS(e.T), i, KeyHome(e.A), KeyIndex(e.A), e.B, e.C)
+			case EvReplay:
+				emit(`{"name":"replay","cat":"recov","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"obj":"%d:%d","origin":%d,"seq":%d}}`,
+					chromeTS(e.T), i, KeyHome(e.A), KeyIndex(e.A), e.B, e.C)
 			}
 		}
 	}

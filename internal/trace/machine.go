@@ -56,6 +56,10 @@ func (t *Machine) Account(i int) *substrate.Account { return t.inner.Account(i) 
 // Collector returns the collector recording this machine's events.
 func (t *Machine) Collector() *Collector { return t.col }
 
+// Unwrap returns the decorated machine, so callers can reach an inner
+// decorator (e.g. internal/faulty's rejoin hook) through the tracing layer.
+func (t *Machine) Unwrap() substrate.Machine { return t.inner }
+
 // Endpoint decorates one processor's substrate.Endpoint: every operation
 // that consumes time records a category span, and message movement records
 // send/recv instants. Layer-level events (forwards, migrations, work units,

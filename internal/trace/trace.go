@@ -57,6 +57,19 @@ const (
 	EvRetransmit
 	// EvStop is the termination broadcast being sent. A = peers notified.
 	EvStop
+	// EvCheckpoint is one crash-recovery checkpoint round completing on this
+	// processor. A=objects snapshotted, B=bytes.
+	EvCheckpoint
+	// EvSuspect is a failure-detector down verdict surfacing on this
+	// processor. A=suspected processor, B=1 if this processor is the
+	// recovery coordinator for the verdict, else 0.
+	EvSuspect
+	// EvRepair is an orphaned object re-installed from its checkpoint.
+	// A=object key (ObjKey), B=previous (dead) host, C=bytes.
+	EvRepair
+	// EvReplay is a logged envelope re-sent by the recovery coordinator.
+	// A=object key (ObjKey), B=origin processor, C=sequence number.
+	EvReplay
 
 	// NumKinds is the number of event kinds.
 	NumKinds
@@ -65,6 +78,7 @@ const (
 var kindNames = [NumKinds]string{
 	"span", "send", "recv", "forward", "migrate-out", "migrate-in",
 	"unit-begin", "unit-end", "policy", "retransmit", "stop-broadcast",
+	"checkpoint", "suspect", "repair", "replay",
 }
 
 // String returns the kind's wire name (also used in Chrome trace output).
