@@ -7,11 +7,17 @@
 //
 //	chaosbench [-system prema-implicit] [-figs 3,4,5,6] \
 //	           [-procs 32] [-units-per-proc 32] [-shards S] \
-//	           [-partition roundrobin|blocked|loaded] \
+//	           [-partition roundrobin|blocked|loaded] [-wire] \
 //	           [-fault-plan "drop=0.2,dup=0.1"] [-fault-seed 1] \
 //	           [-rto 50ms] [-backend sim|real] [-timescale 1e-2] [-spin] \
 //	           [-recover] [-checkpoint-interval 1s] [-lease-timeout 500ms] \
 //	           [-trace trace.json] [-metrics metrics.txt]
+//
+// -wire interposes the binary wire codec (internal/wire) beneath the fault
+// injector: every Send is encoded into a frame and delivered as a freshly
+// decoded copy, so chaos runs additionally prove the reliable protocol holds
+// when messages really are serialized rather than shared by pointer. The
+// codec charges no substrate time; output is identical.
 //
 // -trace/-metrics record every run through internal/trace (the tracing
 // decorator wraps outside the fault injector, so the stream shows the
@@ -76,6 +82,7 @@ func main() {
 	backend := flag.String("backend", "sim", "execution substrate: sim (deterministic) | real (goroutines)")
 	timescale := flag.Float64("timescale", 1e-2, "real backend: wall seconds per virtual second")
 	spin := flag.Bool("spin", false, "real backend: busy-wait instead of sleeping")
+	wireOn := flag.Bool("wire", false, "run behind the serialization loopback (wire codec; output is identical)")
 	recoverOn := flag.Bool("recover", false, "arm the crash-recovery subsystem on the reliable and faulted legs (required for crash/recover plan clauses)")
 	ckptInterval := flag.Duration("checkpoint-interval", 0, "recovery: periodic object-checkpoint interval in virtual time (0 = default 1s)")
 	leaseTimeout := flag.Duration("lease-timeout", 0, "recovery: heartbeat lease timeout in virtual time (0 = default: 500ms on sim, 250ms of wall clock on real)")
@@ -114,6 +121,10 @@ func main() {
 	}
 	if !bench.ValidPartition(*partition) {
 		fmt.Fprintf(os.Stderr, "chaosbench: -partition must be one of %v (got %q)\n", bench.PartitionStrategies, *partition)
+		os.Exit(2)
+	}
+	if *wireOn && !bench.WiredSystem(*system) {
+		fmt.Fprintf(os.Stderr, "chaosbench: system %q is a cost model without a transport; -wire needs a PREMA configuration\n", *system)
 		os.Exit(2)
 	}
 	plan, err := faulty.ParsePlan(*planS)
@@ -174,6 +185,7 @@ func main() {
 		w := bench.PaperWorkload(spec, *procs, *upp)
 		w.Shards = *shards
 		w.Partition = *partition
+		w.Wire = *wireOn
 		fmt.Printf("=== Figure %d scenario: imbalance %.0f%%, heavy = %.1fx light (procs=%d, units=%d, backend=%s) ===\n",
 			spec.ID, spec.Imbalance*100, spec.Ratio, w.Procs, w.Units, *backend)
 		sink.fig = spec.ID

@@ -4,8 +4,8 @@
 // Usage:
 //
 //	figures [-fig N] [-procs P] [-units-per-proc U] [-stride S] [-jobs J] \
-//	        [-shards S] [-partition roundrobin|blocked|loaded] [-csv DIR] \
-//	        [-trace trace.json] [-metrics metrics.txt]
+//	        [-shards S] [-partition roundrobin|blocked|loaded] [-wire] \
+//	        [-csv DIR] [-trace trace.json] [-metrics metrics.txt]
 //
 // -trace and -metrics re-run the PREMA systems of each selected figure with
 // the internal/trace recorder attached (observational — same makespans as
@@ -21,7 +21,10 @@
 // across cores, and -shards additionally parallelizes each simulation's
 // event loop. The two levels multiply (jobs × shards goroutines contend for
 // CPUs), so the -jobs default of 0 means "auto": one worker per CPU divided
-// by -shards. Output is byte-identical for any -jobs and -shards values.
+// by -shards. -wire routes every PREMA-system message through the binary
+// wire codec (encode at Send, deliver a decoded copy; the baseline cost
+// models have no transport and run as usual). Output is byte-identical for
+// any -jobs, -shards, and -wire values.
 package main
 
 import (
@@ -52,6 +55,7 @@ func main() {
 	jobs := flag.Int("jobs", 0, "max simulations in flight (0 = auto: one per CPU divided by -shards; 1 = serial)")
 	shards := flag.Int("shards", 1, "parallel event-loop shards per simulation (1 = serial engine; output is identical for any value)")
 	partition := flag.String("partition", "roundrobin", "processor-to-shard placement strategy: roundrobin, blocked, or loaded (output is identical for any value)")
+	wireOn := flag.Bool("wire", false, "run the PREMA systems behind the serialization loopback (wire codec; output is identical)")
 	csvDir := flag.String("csv", "", "directory to write per-system breakdown CSVs into (plots)")
 	traceOut := flag.String("trace", "", "record the PREMA systems and write Chrome trace JSON per figure+system (base path; figN.system is inserted before the extension)")
 	metricsOut := flag.String("metrics", "", "write aggregated trace metrics per figure+system (base path, same suffixing; .json = JSON)")
@@ -97,7 +101,7 @@ func main() {
 		}
 		specs = []bench.FigureSpec{s}
 	}
-	runs, err := bench.RunFigures(specs, *procs, *upp, *jobs, *shards, *partition)
+	runs, err := bench.RunFigures(specs, *procs, *upp, *jobs, *shards, *partition, *wireOn)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -116,7 +120,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "figures: -trace-ring must be >= 1 (got %d)\n", *traceRing)
 			os.Exit(2)
 		}
-		if err := writeTraces(specs, *procs, *upp, *jobs, *shards, *traceRing, *partition, *traceOut, *metricsOut); err != nil {
+		if err := writeTraces(specs, *procs, *upp, *jobs, *shards, *traceRing, *partition, *wireOn, *traceOut, *metricsOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -131,7 +135,7 @@ var tracedSystems = []string{"none", "prema-explicit", "prema-implicit"}
 // attached and exports one trace/metrics file per (figure, system). Tracing
 // is observational, so these runs report the same makespans as the untraced
 // sweep above.
-func writeTraces(specs []bench.FigureSpec, procs, upp, jobs, shards, ring int, partition, traceOut, metricsOut string) error {
+func writeTraces(specs []bench.FigureSpec, procs, upp, jobs, shards, ring int, partition string, wireOn bool, traceOut, metricsOut string) error {
 	type job struct {
 		spec bench.FigureSpec
 		name string
@@ -154,6 +158,7 @@ func writeTraces(specs []bench.FigureSpec, procs, upp, jobs, shards, ring int, p
 		w := bench.PaperWorkload(js[i].spec, procs, upp)
 		w.Shards = shards
 		w.Partition = partition
+		w.Wire = wireOn
 		r, err := bench.RunSystemTraced(js[i].name, w, col)
 		return traced{col, r}, err
 	})

@@ -1,16 +1,16 @@
 // Command perfbench measures the simulator's host performance and the sweep
 // runner's parallel speedup, and writes the numbers to a JSON file (the
-// repository's BENCH trajectory: BENCH_PR7.json at the repo root).
+// repository's BENCH trajectory: BENCH_PR9.json at the repo root).
 //
 // Usage:
 //
-//	perfbench [-out BENCH_PR7.json] [-procs 128] [-units-per-proc 128] \
+//	perfbench [-out BENCH_PR9.json] [-procs 128] [-units-per-proc 128] \
 //	          [-jobs J] [-events 500000] [-partition loaded] \
 //	          [-skip-sweep] [-skip-trace] [-skip-shards] [-skip-windows] \
-//	          [-skip-scale] [-skip-large] [-scale-procs 4096] \
+//	          [-skip-scale] [-skip-large] [-skip-wire] [-scale-procs 4096] \
 //	          [-scale-objects 256] [-large-procs 1024] [-large-upp 16]
 //
-// It reports six layers, matching the levels of the performance work:
+// It reports seven layers, matching the levels of the performance work:
 //
 //   - engine: microbenchmarks of the discrete-event core — ns/event,
 //     allocs/event and events/sec for the Advance hot path, plus the
@@ -39,7 +39,13 @@
 //   - scale: the scale push — an engine-level workload of -scale-procs
 //     processors × -scale-objects objects each (default 4096 × 256 ≈ 1M
 //     objects) at S ∈ {1, 2, 4, 8}, recording ns/event, speedup, and the
-//     max completed scenario size.
+//     max completed scenario size;
+//   - wire: the serialization loopback (internal/wire) — the codec's
+//     encode+decode cost per frame averaged over every registered payload
+//     kind, the active-message round trip on a wire-wrapped machine vs the
+//     raw engine, and a figure scenario run with the loopback on and off
+//     (the outputs must match byte-for-byte, and the Msg.Size audit must
+//     report zero drift).
 //
 // The host section also records how the auto jobs clamp resolves jobs ×
 // shards against GOMAXPROCS for each shard count used here, so the ledger
@@ -65,8 +71,10 @@ import (
 	"prema/internal/bench"
 	"prema/internal/dmcs"
 	"prema/internal/sim"
+	"prema/internal/substrate"
 	"prema/internal/sweep"
 	"prema/internal/trace"
+	"prema/internal/wire"
 )
 
 // Report is the schema of the emitted JSON.
@@ -79,6 +87,27 @@ type Report struct {
 	Shards  *ShardInfo  `json:"shards,omitempty"`
 	Windows *WindowInfo `json:"windows,omitempty"`
 	Scale   *ScaleInfo  `json:"scale,omitempty"`
+	Wire    *WireInfo   `json:"wire,omitempty"`
+}
+
+// WireInfo holds the serialization-loopback axis: the binary codec's
+// encode+decode microbenchmark averaged over every registered payload kind,
+// the active-message round trip on a wire-wrapped machine (vs the raw
+// engine's am_roundtrip_ns), and one figure scenario run with the loopback
+// on and off — the two outputs must be byte-identical and the Msg.Size
+// audit must count zero drifted frames.
+type WireInfo struct {
+	Kinds            int     `json:"kinds"`
+	NsPerFrame       float64 `json:"ns_per_frame"`
+	AllocsPerFrame   float64 `json:"allocs_per_frame"`
+	AvgFrameBytes    float64 `json:"avg_frame_bytes"`
+	AMRoundTripNs    float64 `json:"am_roundtrip_ns"`
+	AMOverheadPct    float64 `json:"am_overhead_pct"`
+	Figure           int     `json:"figure"`
+	System           string  `json:"system"`
+	Frames           uint64  `json:"frames"`
+	SizeDrift        uint64  `json:"size_drift"`
+	IdenticalToPlain bool    `json:"identical_to_plain"`
 }
 
 // ClampInfo records how the auto jobs clamp resolves the jobs × shards
@@ -253,7 +282,7 @@ type SweepInfo struct {
 var shardCounts = []int{1, 2, 4, 8}
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
 	procs := flag.Int("procs", 128, "simulated processors for the sweep, trace, and windows timing")
 	upp := flag.Int("units-per-proc", 128, "work units per processor for the sweep, trace, and windows timing")
 	jobs := flag.Int("jobs", sweep.DefaultJobs(), "parallel sweep worker count")
@@ -265,6 +294,7 @@ func main() {
 	skipWindows := flag.Bool("skip-windows", false, "skip the fixed-vs-adaptive window comparison")
 	skipScale := flag.Bool("skip-scale", false, "skip the scale-push axis")
 	skipLarge := flag.Bool("skip-large", false, "skip the large-scale scenario of the shards axis")
+	skipWire := flag.Bool("skip-wire", false, "skip the serialization-loopback axis")
 	scaleProcs := flag.Int("scale-procs", 4096, "scale push: simulated processors")
 	scaleObjects := flag.Int("scale-objects", 256, "scale push: objects per processor")
 	largeProcs := flag.Int("large-procs", 1024, "large-scale scenario: simulated processors")
@@ -293,7 +323,7 @@ func main() {
 	}
 
 	rep := Report{
-		Bench: "PR7",
+		Bench: "PR9",
 		Host: HostInfo{
 			GoVersion:  runtime.Version(),
 			GOOS:       runtime.GOOS,
@@ -388,6 +418,21 @@ func main() {
 		}
 		fmt.Printf("  scale:    %d procs x %d objects/proc = %d objects  identical=%v\n",
 			sc.Procs, sc.ObjectsPerProc, sc.Objects, sc.Identical)
+	}
+
+	if !*skipWire {
+		wi, err := measureWire(*events, *procs, *upp, rep.Eng.AMRoundTripNs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		rep.Wire = wi
+		fmt.Printf("  codec:    %8.1f ns/frame  %.4f allocs/frame  %.1f B/frame avg over %d kinds\n",
+			wi.NsPerFrame, wi.AllocsPerFrame, wi.AvgFrameBytes, wi.Kinds)
+		fmt.Printf("  AM trip:  %8.1f ns/msg wire-wrapped (%+.1f%% vs raw engine)\n",
+			wi.AMRoundTripNs, wi.AMOverheadPct)
+		fmt.Printf("  fig %d:    %s  frames=%d  size_drift=%d  identical=%v\n",
+			wi.Figure, wi.System, wi.Frames, wi.SizeDrift, wi.IdenticalToPlain)
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
@@ -627,7 +672,7 @@ func measureSweep(procs, upp, jobs int) (*SweepInfo, error) {
 	fmt.Printf("perfbench: serial sweep (%d sims at %d procs x %d units/proc)...\n",
 		info.Simulations, procs, upp)
 	t0 := time.Now()
-	serial, err := bench.RunFigures(specs, procs, upp, 1, 1, "")
+	serial, err := bench.RunFigures(specs, procs, upp, 1, 1, "", false)
 	if err != nil {
 		return nil, err
 	}
@@ -636,7 +681,7 @@ func measureSweep(procs, upp, jobs int) (*SweepInfo, error) {
 
 	fmt.Printf("perfbench: parallel sweep (jobs=%d)...\n", jobs)
 	t1 := time.Now()
-	parallel, err := bench.RunFigures(specs, procs, upp, jobs, 1, "")
+	parallel, err := bench.RunFigures(specs, procs, upp, jobs, 1, "", false)
 	if err != nil {
 		return nil, err
 	}
@@ -882,6 +927,119 @@ func scaleRun(procs, objects, shards int) (*sim.Engine, time.Duration, error) {
 		return nil, 0, err
 	}
 	return e, time.Since(t0), nil
+}
+
+// measureWire benchmarks the serialization loopback at three levels: the
+// raw codec (one encode + decode per registered payload kind, frames sized
+// exactly to their encoding so the audit sees zero drift), the dmcs
+// active-message round trip on a wire-wrapped simulator machine, and a full
+// figure scenario with the loopback on vs off — the repository's "the codec
+// charges nothing" claim, checked byte-for-byte.
+func measureWire(events, procs, upp int, rawAMNs float64) (*WireInfo, error) {
+	const warm = 10_000
+	samples := wire.Samples()
+	msgs := make([]*substrate.Msg, len(samples))
+	var totalBytes int
+	for i, s := range samples {
+		m := &substrate.Msg{Src: i % 7, Dst: (i + 1) % 7, Kind: i, Tag: i % 3,
+			Data: s, Seq: uint64(i), SentAt: substrate.Time(i)}
+		_, plen := wire.EncodeMsg(m)
+		m.Size = plen // exact fit: no padding, no drift
+		frame, _ := wire.EncodeMsg(m)
+		totalBytes += len(frame)
+		msgs[i] = m
+	}
+	var w wire.Writer
+	roundTrips := func(n int) error {
+		for i := 0; i < n; i++ {
+			m := msgs[i%len(msgs)]
+			w.Reset()
+			wire.AppendMsg(&w, m)
+			if _, err := wire.DecodeMsg(w.Buf()); err != nil {
+				return fmt.Errorf("wire codec probe (%T): %w", m.Data, err)
+			}
+		}
+		return nil
+	}
+	fmt.Printf("perfbench: wire loopback axis (%d kinds, %d frames)...\n", len(samples), events)
+	codec := probe{n: events}
+	if err := roundTrips(warm); err != nil {
+		return nil, err
+	}
+	m0, t0 := codec.begin()
+	if err := roundTrips(codec.n); err != nil {
+		return nil, err
+	}
+	codec.end(m0, t0)
+	wi := &WireInfo{
+		Kinds:          len(samples),
+		NsPerFrame:     float64(codec.dur.Nanoseconds()) / float64(codec.n),
+		AllocsPerFrame: float64(codec.allocs) / float64(codec.n),
+		AvgFrameBytes:  float64(totalBytes) / float64(len(samples)),
+	}
+
+	// The engine AM probe, re-run with every message crossing the codec.
+	am := probe{n: events / 4}
+	{
+		m := wire.Wrap(sim.NewMachine(sim.Config{Seed: 1}))
+		rounds := warm + am.n
+		body := func(measure bool) func(substrate.Endpoint) {
+			return func(ep substrate.Endpoint) {
+				c := dmcs.New(ep)
+				var h dmcs.HandlerID
+				h = c.Register(func(c *dmcs.Comm, src int, data any, size int) {
+					if data.(int) > 0 {
+						c.Send(src, h, data.(int)-1, 8)
+					}
+				})
+				if !measure {
+					for i := 0; i < rounds; i++ {
+						c.WaitPoll(substrate.CatIdle)
+					}
+					return
+				}
+				c.Send(0, h, 2*rounds, 8)
+				for i := 0; i < warm; i++ {
+					c.WaitPoll(substrate.CatIdle)
+				}
+				m0, t0 := am.begin()
+				for i := 0; i < am.n; i++ {
+					c.WaitPoll(substrate.CatIdle)
+				}
+				am.end(m0, t0)
+			}
+		}
+		m.Spawn("pong", body(false))
+		m.Spawn("ping", body(true))
+		if err := m.Run(); err != nil && err != sim.ErrDeadlock {
+			fmt.Fprintln(os.Stderr, "perfbench: wire AM probe:", err) // tail messages may strand one poller
+		}
+	}
+	wi.AMRoundTripNs = float64(am.dur.Nanoseconds()) / float64(am.n)
+	if rawAMNs > 0 {
+		wi.AMOverheadPct = 100 * (wi.AMRoundTripNs - rawAMNs) / rawAMNs
+	}
+
+	// Full-stack identity: one figure scenario, loopback off vs on.
+	const system = "prema-implicit"
+	spec := bench.Figures()[0]
+	wl := bench.PaperWorkload(spec, procs, upp)
+	plain, err := bench.RunSystem(system, wl)
+	if err != nil {
+		return nil, fmt.Errorf("wire plain run: %w", err)
+	}
+	wl.Wire = true
+	wired, err := bench.RunSystem(system, wl)
+	if err != nil {
+		return nil, fmt.Errorf("wire wrapped run: %w", err)
+	}
+	wi.Figure = spec.ID
+	wi.System = system
+	wi.Frames = wired.WireFrames
+	wi.SizeDrift = wired.WireDrift
+	wi.IdenticalToPlain = plain.Summary() == wired.Summary() &&
+		plain.Breakdown(1) == wired.Breakdown(1)
+	return wi, nil
 }
 
 // measureScale runs the scale-push workload across the shard axis.

@@ -6,7 +6,7 @@
 //	premabench -system prema-implicit -imbalance 0.5 -ratio 2.0 \
 //	           [-procs 128] [-units-per-proc 128] [-stride 8] [-hints mean] \
 //	           [-jobs J] [-shards S] [-partition roundrobin|blocked|loaded] \
-//	           [-backend sim|real] [-timescale 1e-3] \
+//	           [-backend sim|real] [-timescale 1e-3] [-wire] \
 //	           [-spin] [-fault-plan PLAN] [-fault-seed N] [-reliable] \
 //	           [-recover] [-checkpoint-interval 1s] [-lease-timeout 500ms] \
 //	           [-trace trace.json] [-metrics metrics.txt] [-trace-ring N]
@@ -26,6 +26,15 @@
 // the run survives them. Both apply to the PREMA configurations only; the
 // third-party baseline models are cost models without a real transport. For
 // dedicated chaos sweeps over the paper figures see cmd/chaosbench.
+//
+// -wire routes every message of the PREMA configurations through the binary
+// wire codec (internal/wire): each Send encodes the message into a
+// self-delimiting frame and the receiver gets a freshly decoded copy, proving
+// no layer aliases sender memory. The codec charges no substrate time, so a
+// -wire run is byte-identical to a plain one; the -metrics file additionally
+// reports wire_size_drift_total (frames whose encoding exceeded the modeled
+// message size — expected 0). Like -trace, -wire needs a real transport and
+// rejects the baseline cost models.
 //
 // -recover arms the crash-recovery subsystem (periodic object checkpoints,
 // heartbeat failure detection, directory repair, orphan re-homing) so
@@ -70,6 +79,7 @@ import (
 	"prema/internal/substrate"
 	"prema/internal/sweep"
 	"prema/internal/trace"
+	"prema/internal/wire"
 )
 
 func main() {
@@ -84,6 +94,7 @@ func main() {
 	shards := flag.Int("shards", 1, "simulator backend: parallel event-loop shards per simulation (output is identical for any value)")
 	partition := flag.String("partition", "roundrobin", "simulator backend: processor-to-shard placement strategy: roundrobin, blocked, or loaded (output is identical for any value)")
 	backend := flag.String("backend", "sim", "execution substrate: sim (deterministic) | real (goroutines)")
+	wireOn := flag.Bool("wire", false, "run behind the serialization loopback (wire codec; PREMA systems only; output is identical)")
 	timescale := flag.Float64("timescale", 1e-3, "real backend: wall seconds per virtual second")
 	spin := flag.Bool("spin", false, "real backend: busy-wait instead of sleeping")
 	planS := flag.String("fault-plan", "", "fault plan injected at the substrate seam (internal/faulty syntax; PREMA systems only)")
@@ -177,6 +188,15 @@ func main() {
 	for i, s := range systems {
 		systems[i] = strings.TrimSpace(s)
 	}
+	if *wireOn {
+		for _, s := range systems {
+			if !bench.WiredSystem(s) {
+				fmt.Fprintf(os.Stderr, "premabench: system %q is a cost model without a transport; -wire needs a PREMA configuration\n", s)
+				os.Exit(2)
+			}
+		}
+		w.Wire = true
+	}
 
 	tracing := *traceOut != "" || *metricsOut != ""
 	var cols []*trace.Collector
@@ -249,7 +269,7 @@ func main() {
 			col = cols[0]
 		}
 		var r *bench.Result
-		r, err = runReal(systems[0], w, *timescale, *spin, col)
+		r, err = runReal(systems[0], w, *timescale, *spin, *wireOn, col)
 		results = []*bench.Result{r}
 	default:
 		fmt.Fprintf(os.Stderr, "premabench: unknown backend %q (want sim or real)\n", *backend)
@@ -273,7 +293,7 @@ func main() {
 	}
 	if tracing {
 		for i, col := range cols {
-			if err := writeTrace(col, results[i], systems[i], len(systems) > 1, *traceOut, *metricsOut); err != nil {
+			if err := writeTrace(col, results[i], systems[i], len(systems) > 1, *wireOn, *traceOut, *metricsOut); err != nil {
 				fmt.Fprintln(os.Stderr, "premabench:", err)
 				os.Exit(1)
 			}
@@ -282,8 +302,12 @@ func main() {
 }
 
 // writeTrace exports one run's collector to the requested trace and metrics
-// files; multi-system mode inserts the system name before the extension.
-func writeTrace(col *trace.Collector, r *bench.Result, system string, multi bool, traceOut, metricsOut string) error {
+// files; multi-system mode inserts the system name before the extension. When
+// the wire loopback is active the metrics registry additionally reports the
+// codec's size audit: wire_frames_total (messages encoded) and
+// wire_size_drift_total (frames whose encoding exceeded the modeled
+// Msg.Size — expected 0 on every shipped scenario).
+func writeTrace(col *trace.Collector, r *bench.Result, system string, multi, wireOn bool, traceOut, metricsOut string) error {
 	if traceOut != "" {
 		path := traceOut
 		if multi {
@@ -299,7 +323,12 @@ func writeTrace(col *trace.Collector, r *bench.Result, system string, multi bool
 		if multi {
 			path = trace.SuffixPath(path, system)
 		}
-		if err := trace.Summarize(col, r.Makespan).WriteFile(path); err != nil {
+		reg := trace.Summarize(col, r.Makespan)
+		if wireOn {
+			reg.Counters["wire_frames_total"] = int64(r.WireFrames)
+			reg.Counters["wire_size_drift_total"] = int64(r.WireDrift)
+		}
+		if err := reg.WriteFile(path); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", path)
@@ -318,8 +347,10 @@ func runSim(system string, w bench.Workload) (*bench.Result, error) {
 }
 
 // runReal runs one PREMA system configuration on the real-concurrency
-// backend, with event tracing attached when col is non-nil.
-func runReal(system string, w bench.Workload, timescale float64, spin bool, col *trace.Collector) (*bench.Result, error) {
+// backend, with event tracing attached when col is non-nil and the
+// serialization loopback interposed when wireOn is set (wire wraps the raw
+// backend so the tracer observes decoded messages).
+func runReal(system string, w bench.Workload, timescale float64, spin, wireOn bool, col *trace.Collector) (*bench.Result, error) {
 	if !strings.HasPrefix(system, "prema") && system != "none" {
 		fmt.Fprintf(os.Stderr, "system %q models a third-party runtime and is simulator-only; use -backend=sim\n", system)
 		os.Exit(2)
@@ -329,6 +360,9 @@ func runReal(system string, w bench.Workload, timescale float64, spin bool, col 
 	cfg.TimeScale = timescale
 	cfg.Spin = spin
 	var m substrate.Machine = rtm.New(cfg)
+	if wireOn {
+		m = wire.Wrap(m)
+	}
 	if col != nil {
 		m = trace.Wrap(m, col)
 	}

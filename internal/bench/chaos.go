@@ -9,6 +9,7 @@ import (
 	"prema/internal/sim"
 	"prema/internal/substrate"
 	"prema/internal/trace"
+	"prema/internal/wire"
 )
 
 // ChaosSpec configures one chaos run: a named PREMA system configuration on
@@ -89,6 +90,11 @@ func RunChaos(w Workload, cs ChaosSpec) (*Result, faulty.Stats, error) {
 		m = rtm.New(rc)
 	default:
 		return nil, faulty.Stats{}, fmt.Errorf("bench: unknown chaos backend %q (want sim or real)", cs.Backend)
+	}
+	if w.Wire {
+		// Innermost, so the injector and tracer observe exactly the
+		// (decoded) messages a plain run would carry.
+		m = wire.Wrap(m)
 	}
 	var fm *faulty.Machine
 	if cs.Plan.Active() {

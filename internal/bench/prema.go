@@ -260,17 +260,38 @@ func findFaulty(m substrate.Machine) *faulty.Machine {
 }
 
 // engineStats is the simulator engine telemetry surface. sim.Machine
-// satisfies it by embedding *sim.Engine; the real backend and wrapping
-// decorators (trace, faulty) do not, and their runs simply carry no engine
-// telemetry.
+// satisfies it by embedding *sim.Engine; the real backend does not, and its
+// runs simply carry no engine telemetry. collect unwraps decorators (trace,
+// wire) to reach it — faulty has no Unwrap, so faulted runs stay bare.
 type engineStats interface {
 	EventsFired() uint64
 	ShardEventsFired() []uint64
 	BarrierRounds() uint64
 }
 
-// collect snapshots per-processor accounts into a Result, plus engine
-// telemetry when the machine exposes it.
+// wireStats is the serialization loopback's audit surface (wire.Machine).
+type wireStats interface {
+	Frames() uint64
+	SizeDrift() uint64
+}
+
+// unwrapTo walks m's decorator chain until a layer satisfies the probe.
+func unwrapTo[T any](m substrate.Machine) (T, bool) {
+	for {
+		if v, ok := m.(T); ok {
+			return v, true
+		}
+		u, ok := m.(interface{ Unwrap() substrate.Machine })
+		if !ok {
+			var zero T
+			return zero, false
+		}
+		m = u.Unwrap()
+	}
+}
+
+// collect snapshots per-processor accounts into a Result, plus engine and
+// wire telemetry when the machine (or a decorated layer) exposes them.
 func collect(name string, w Workload, m substrate.Machine) *Result {
 	res := &Result{
 		System:   name,
@@ -282,10 +303,14 @@ func collect(name string, w Workload, m substrate.Machine) *Result {
 	for i := 0; i < m.NumProcs(); i++ {
 		res.Accounts[i] = *m.Account(i)
 	}
-	if es, ok := m.(engineStats); ok {
+	if es, ok := unwrapTo[engineStats](m); ok {
 		res.Events = es.EventsFired()
 		res.ShardEvents = es.ShardEventsFired()
 		res.BarrierRounds = es.BarrierRounds()
+	}
+	if ws, ok := unwrapTo[wireStats](m); ok {
+		res.WireFrames = ws.Frames()
+		res.WireDrift = ws.SizeDrift()
 	}
 	return res
 }

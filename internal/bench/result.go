@@ -38,10 +38,11 @@ type Result struct {
 	Recov *recov.Stats
 
 	// Engine telemetry (simulator backend only; zero/nil on the real
-	// backend or behind wrapping decorators). These describe the host-side
-	// execution, not the simulated system, so they appear in perfbench's
-	// ledger but never in Summary/Breakdown/CSV — the outputs the golden
-	// hashes and byte-identity tests cover.
+	// backend — collect unwraps the trace/wire decorators to reach it, but
+	// faulty hides it). These describe the host-side execution, not the
+	// simulated system, so they appear in perfbench's ledger but never in
+	// Summary/Breakdown/CSV — the outputs the golden hashes and
+	// byte-identity tests cover.
 
 	// Events is the total number of simulator events the run fired.
 	Events uint64
@@ -50,6 +51,17 @@ type Result struct {
 	// BarrierRounds is the number of window coordination rounds the sharded
 	// engine executed (0 for serial runs).
 	BarrierRounds uint64
+
+	// Wire telemetry (wire-wrapped runs only; zero otherwise). Like the
+	// engine telemetry it is host-side observability, excluded from
+	// Summary/Breakdown/CSV.
+
+	// WireFrames is the number of messages the wire codec round-tripped.
+	WireFrames uint64
+	// WireDrift counts sends whose encoded payload exceeded the modeled
+	// Msg.Size (the wire_size_drift_total metrics counter); zero means the
+	// cost model's byte accounting is honest.
+	WireDrift uint64
 }
 
 // ImbalanceRatio returns max/mean of the per-shard event counts — 1.0 is a

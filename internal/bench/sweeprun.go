@@ -18,9 +18,11 @@ import (
 // exactly what serial RunFigure calls would produce. The two parallelism
 // levels multiply (jobs × shards goroutines want CPUs at once), so jobs < 1
 // selects sweep.JobsFor(shards), which clamps the product to the CPU count;
-// jobs == 1, shards == 1 is the fully serial path. None of the three knobs
+// jobs == 1, shards == 1 is the fully serial path. wire routes the
+// machine-based systems through the serialization loopback (the cost-model
+// baselines have no transport and ignore it). None of the four knobs
 // changes a single output byte.
-func RunFigures(specs []FigureSpec, procs, unitsPerProc, jobs, shards int, partition string) ([]*FigureRun, error) {
+func RunFigures(specs []FigureSpec, procs, unitsPerProc, jobs, shards int, partition string, wire bool) ([]*FigureRun, error) {
 	if jobs < 1 {
 		jobs = sweep.JobsFor(shards)
 	}
@@ -30,6 +32,7 @@ func RunFigures(specs []FigureSpec, procs, unitsPerProc, jobs, shards int, parti
 		w := PaperWorkload(spec, procs, unitsPerProc)
 		w.Shards = shards
 		w.Partition = partition
+		w.Wire = wire && WiredSystem(name)
 		r, err := RunSystem(name, w)
 		if err != nil {
 			return nil, fmt.Errorf("figure %d: %w", spec.ID, err)

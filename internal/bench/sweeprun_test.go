@@ -21,10 +21,11 @@ func TestSweepMatchesSerial(t *testing.T) {
 		serial = append(serial, fr)
 	}
 
-	// jobs=8, shards=2, and a load-aware partition together exercise the
-	// sweep × shard parallelism product and the placement strategy: none of
-	// the knobs may change a single output byte.
-	parallel, err := RunFigures(specs, procs, upp, 8, 2, PartitionLoaded)
+	// jobs=8, shards=2, a load-aware partition, and the wire loopback
+	// together exercise the sweep × shard parallelism product, the
+	// placement strategy, and the serialization seam: none of the knobs may
+	// change a single output byte.
+	parallel, err := RunFigures(specs, procs, upp, 8, 2, PartitionLoaded, true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,12 @@ func TracedSystem(name string) bool {
 	return name == "none" || strings.HasPrefix(name, "prema")
 }
 
+// WiredSystem reports whether a named system configuration can run behind
+// the serialization loopback (wire.Wrap). The boundary is the same as
+// TracedSystem's: wire decorates the substrate transport, and only the
+// PREMA stacks have one.
+func WiredSystem(name string) bool { return TracedSystem(name) }
+
 // RunSystemTraced executes one named PREMA system configuration on the
 // deterministic simulator with event tracing attached, recording into col.
 // Tracing is observational (no substrate time is charged), so the result is

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"prema/internal/dmcs"
+	"prema/internal/faulty"
+)
+
+// fingerprint reduces a run to the strings the CLIs print: if these match,
+// the visible output matches byte for byte.
+func fingerprint(r *Result) string {
+	return r.Summary() + "\n" + r.Breakdown(1) + "\n" + fmt.Sprint(r.Counters)
+}
+
+// requireWireIdentical runs one workload twice — loopback off, then on —
+// through run, and demands byte-identical output, observed frames, and a
+// clean Msg.Size audit. This is the tentpole's contract: serialization is
+// free in virtual time and every modeled size is honest.
+func requireWireIdentical(t *testing.T, label string, w Workload, run func(Workload) (*Result, error)) {
+	t.Helper()
+	w.Wire = false
+	plain, err := run(w)
+	if err != nil {
+		t.Fatalf("%s plain: %v", label, err)
+	}
+	w.Wire = true
+	wired, err := run(w)
+	if err != nil {
+		t.Fatalf("%s wired: %v", label, err)
+	}
+	if fingerprint(plain) != fingerprint(wired) {
+		t.Fatalf("%s: wire loopback changed the output:\nplain:\n%s\nwired:\n%s",
+			label, fingerprint(plain), fingerprint(wired))
+	}
+	for i := range plain.Accounts {
+		if plain.Accounts[i] != wired.Accounts[i] {
+			t.Fatalf("%s proc %d: ledgers differ under wire", label, i)
+		}
+	}
+	if wired.WireFrames == 0 {
+		t.Fatalf("%s: wire-wrapped run encoded no frames", label)
+	}
+	if wired.WireDrift != 0 {
+		t.Fatalf("%s: %d of %d frames exceeded their modeled Msg.Size",
+			label, wired.WireDrift, wired.WireFrames)
+	}
+}
+
+// TestWireEquivalenceSystems: every machine-based system configuration —
+// the paper's PREMA stacks and the policy suite — produces identical output
+// with the serialization loopback on, across two figure scenarios.
+func TestWireEquivalenceSystems(t *testing.T) {
+	specs := []FigureSpec{Figures()[0], Figures()[3]}
+	for _, spec := range specs {
+		for _, name := range []string{"none", "prema-explicit", "prema-implicit"} {
+			w := PaperWorkload(spec, 8, 8)
+			requireWireIdentical(t, fmt.Sprintf("fig%d/%s", spec.ID, name), w,
+				func(w Workload) (*Result, error) { return RunSystem(name, w) })
+		}
+		for _, pol := range []string{"diffusion", "multilist", "worksteal"} {
+			w := PaperWorkload(spec, 8, 8)
+			requireWireIdentical(t, fmt.Sprintf("fig%d/policy-%s", spec.ID, pol), w,
+				func(w Workload) (*Result, error) { return RunPremaPolicy(w, pol) })
+		}
+	}
+}
+
+// TestWireEquivalenceSharded: the loopback composes with the sharded
+// engine — frames decode on the sending shard, windows stay byte-identical.
+func TestWireEquivalenceSharded(t *testing.T) {
+	w := PaperWorkload(Figures()[1], 16, 8)
+	w.Shards = 4
+	w.Partition = PartitionLoaded
+	requireWireIdentical(t, "sharded/prema-implicit", w,
+		func(w Workload) (*Result, error) { return RunSystem("prema-implicit", w) })
+}
+
+// TestWireEquivalenceChaos is the randomized property: across seeded-random
+// fault plans (drop, duplication, delay, reordering) and fault seeds, a
+// wire-wrapped reliable run matches its plain twin exactly. The loopback
+// sits beneath the injector, so dropped and duplicated deliveries operate
+// on decoded copies — the composition the distributed backend will rely on.
+func TestWireEquivalenceChaos(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	specs := Figures()
+	for trial := 0; trial < 4; trial++ {
+		plan, err := faulty.ParsePlan(fmt.Sprintf("drop=%.2f,dup=%.2f,delay=%.2f:200us,reorder=%.2f",
+			0.05+0.2*rng.Float64(), 0.2*rng.Float64(), 0.2*rng.Float64(), 0.2*rng.Float64()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := ChaosSpec{
+			System:    "prema-implicit",
+			Plan:      plan,
+			FaultSeed: rng.Int63(),
+			Backend:   "sim",
+			Rel:       dmcs.DefaultRelConfig(),
+		}
+		w := PaperWorkload(specs[trial%len(specs)], 8, 8)
+		label := fmt.Sprintf("chaos trial %d", trial)
+
+		w.Wire = false
+		plain, _, err := RunChaos(w, cs)
+		if err != nil {
+			t.Fatalf("%s plain: %v", label, err)
+		}
+		w.Wire = true
+		wired, _, err := RunChaos(w, cs)
+		if err != nil {
+			t.Fatalf("%s wired: %v", label, err)
+		}
+		if fingerprint(plain) != fingerprint(wired) {
+			t.Fatalf("%s: wire loopback changed the faulted run:\nplain:\n%s\nwired:\n%s",
+				label, fingerprint(plain), fingerprint(wired))
+		}
+		// Faulted runs wrap the injector outside the loopback, and the
+		// injector deliberately hides inner telemetry (a faulted machine's
+		// engine stats are not comparable), so frames are not observable
+		// here — identity of the full report is the assertion.
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"prema/internal/sim"
 	"prema/internal/substrate"
+	"prema/internal/wire"
 )
 
 // HintMode controls how the computational weight *hints* handed to the load
@@ -76,6 +77,15 @@ type Workload struct {
 	// engine to one minimum-lookahead window per coordination round so
 	// perfbench can measure the rounds adaptive batching saves.
 	FixedWindows bool
+	// Wire wraps the machine in the serialization loopback (wire.Wrap):
+	// every message is encoded to its binary frame at Send and delivered as
+	// a freshly decoded copy, auditing modeled sizes along the way. Like
+	// Shards it never changes output — wire runs are byte-identical
+	// (internal/bench/wire_equivalence_test.go) — it only costs host CPU.
+	// It applies to the machine-based drivers (none and the prema-*
+	// systems); the engine-level cost models (parmetis, charm*) have no
+	// transport to wrap.
+	Wire bool
 }
 
 // testPartition, when non-nil, overrides every workload's partition strategy
@@ -266,8 +276,13 @@ func (w Workload) engine() *sim.Engine {
 }
 
 // machine builds the default (deterministic simulator) substrate machine for
-// this workload. The RunXxxOn drivers accept any substrate.Machine; callers
-// wanting real concurrency construct an rtm.Machine themselves.
+// this workload, wire-wrapped when w.Wire is set. The RunXxxOn drivers
+// accept any substrate.Machine; callers wanting real concurrency construct
+// an rtm.Machine themselves (and wrap it with wire.Wrap for parity).
 func (w Workload) machine() substrate.Machine {
-	return sim.NewMachine(w.simConfig())
+	var m substrate.Machine = sim.NewMachine(w.simConfig())
+	if w.Wire {
+		m = wire.Wrap(m)
+	}
+	return m
 }

@@ -1,0 +1,29 @@
+package coll
+
+import "prema/internal/wire"
+
+// Wire codecs for the collective layer's two payloads. Contribution and
+// release data are opaque application values (nil barriers, float64
+// reductions, []any gathers) and encode through the registry.
+func init() {
+	wire.Register(wire.KindCollContribution, contribution{},
+		func(w *wire.Writer, v any) {
+			c := v.(contribution)
+			w.Int(c.Seq)
+			w.Int(c.Proc)
+			wire.EncodeAny(w, c.Data)
+		},
+		func(r *wire.Reader) any {
+			return contribution{Seq: r.Int(), Proc: r.Int(), Data: wire.DecodeAny(r)}
+		})
+
+	wire.Register(wire.KindCollRelease, release{},
+		func(w *wire.Writer, v any) {
+			c := v.(release)
+			w.Int(c.Seq)
+			wire.EncodeAny(w, c.Data)
+		},
+		func(r *wire.Reader) any {
+			return release{Seq: r.Int(), Data: wire.DecodeAny(r)}
+		})
+}

@@ -1,0 +1,20 @@
+package dmcs
+
+import "prema/internal/wire"
+
+// The reliable-delivery protocol's only internal payload is the cumulative
+// ack; every other dmcs message carries an application payload, encoded by
+// its own registered codec. Acks are modeled at 16 bytes and sent on every
+// ack-worthy delivery, so the encoding is compact: the tag is a traffic
+// class (i32 is generous), giving 2 + 4 + 8 = 14 bytes on the wire.
+func init() {
+	wire.Register(wire.KindDmcsAck, ackPayload{},
+		func(w *wire.Writer, v any) {
+			a := v.(ackPayload)
+			w.I32(int32(a.Tag))
+			w.U64(a.Cum)
+		},
+		func(r *wire.Reader) any {
+			return ackPayload{Tag: int(r.I32()), Cum: r.U64()}
+		})
+}

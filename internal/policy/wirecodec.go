@@ -1,0 +1,48 @@
+package policy
+
+import (
+	"prema/internal/mol"
+	"prema/internal/substrate"
+	"prema/internal/wire"
+)
+
+// Wire codecs for the balancing policies' control traffic. Work stealing's
+// nack/grant ride builtin kinds (nil / int), diffusion broadcasts a builtin
+// float64, and multi-list's fetch is nil — only the structured payloads
+// need codecs here. Every field crosses the wire, including ad.posted: the
+// receiver restamps it with its own clock, but carrying the sender's value
+// keeps decode(encode(x)) == x exact for the round-trip tests.
+func init() {
+	wire.Register(wire.KindPolicySteal, stealRequest{},
+		func(w *wire.Writer, v any) { w.F64(v.(stealRequest).Load) },
+		func(r *wire.Reader) any { return stealRequest{Load: r.F64()} })
+
+	wire.Register(wire.KindPolicyAd, ad{},
+		func(w *wire.Writer, v any) {
+			a := v.(ad)
+			w.Int(a.mp.Home)
+			w.Int(a.mp.Index)
+			w.Int(a.host)
+			w.F64(a.weight)
+			w.I64(int64(a.posted))
+		},
+		func(r *wire.Reader) any {
+			a := ad{}
+			a.mp = mol.MobilePtr{Home: r.Int(), Index: r.Int()}
+			a.host = r.Int()
+			a.weight = r.F64()
+			a.posted = substrate.Time(r.I64())
+			return a
+		})
+
+	wire.Register(wire.KindPolicyClaim, claimMsg{},
+		func(w *wire.Writer, v any) {
+			c := v.(claimMsg)
+			w.Int(c.mp.Home)
+			w.Int(c.mp.Index)
+			w.Int(c.claimer)
+		},
+		func(r *wire.Reader) any {
+			return claimMsg{mp: mol.MobilePtr{Home: r.Int(), Index: r.Int()}, claimer: r.Int()}
+		})
+}

@@ -1,0 +1,68 @@
+package recov
+
+import (
+	"sort"
+
+	"prema/internal/wire"
+)
+
+// The recovery subsystem's one transport payload is the checkpoint restore
+// message mol sends when re-homing an orphan to a survivor. Done watermarks
+// are emitted in sorted origin order so equal checkpoints encode to equal
+// bytes; the replay log's opaque envelopes (recov sits below mol) encode
+// through the registry like any other payload.
+func init() {
+	wire.Register(wire.KindRecovCheckpoint, &Checkpoint{Done: map[int]uint64{}},
+		func(w *wire.Writer, v any) {
+			ck := v.(*Checkpoint)
+			w.Int(ck.ID.Home)
+			w.Int(ck.ID.Index)
+			wire.EncodeAny(w, ck.Data)
+			w.Int(ck.Size)
+			w.F64(ck.Weight)
+			w.Int(ck.Loc)
+			w.Bool(ck.Orphan)
+			origins := make([]int, 0, len(ck.Done))
+			for o := range ck.Done {
+				origins = append(origins, o)
+			}
+			sort.Ints(origins)
+			w.U32(uint32(len(origins)))
+			for _, o := range origins {
+				w.Int(o)
+				w.U64(ck.Done[o])
+			}
+			w.U32(uint32(len(ck.Replay)))
+			for i := range ck.Replay {
+				re := &ck.Replay[i]
+				w.Int(re.Origin)
+				w.U64(re.Seq)
+				wire.EncodeAny(w, re.Env)
+				w.Int(re.Size)
+			}
+		},
+		func(r *wire.Reader) any {
+			ck := &Checkpoint{}
+			ck.ID.Home = r.Int()
+			ck.ID.Index = r.Int()
+			ck.Data = wire.DecodeAny(r)
+			ck.Size = r.Int()
+			ck.Weight = r.F64()
+			ck.Loc = r.Int()
+			ck.Orphan = r.Bool()
+			n := r.Count(16) // origin i64 + watermark u64
+			ck.Done = make(map[int]uint64, n)
+			for i := 0; i < n; i++ {
+				o := r.Int()
+				ck.Done[o] = r.U64()
+			}
+			m := r.Count(16 + 2 + 8) // origin + seq + env kind + size
+			for i := 0; i < m; i++ {
+				re := ReplayEnv{Origin: r.Int(), Seq: r.U64()}
+				re.Env = wire.DecodeAny(r)
+				re.Size = r.Int()
+				ck.Replay = append(ck.Replay, re)
+			}
+			return ck
+		})
+}

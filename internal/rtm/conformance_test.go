@@ -13,10 +13,28 @@ import (
 	"prema/internal/rtm"
 	"prema/internal/sim"
 	"prema/internal/substrate"
+	"prema/internal/wire"
 )
 
 type confObj struct {
 	got int // messages received so far
+}
+
+// The conformance objects migrate, so on a wire-wrapped machine their data
+// crosses the codec; the marshal hooks are what a real application would
+// install alongside Register.
+func init() {
+	mol.RegisterDataCodec(wire.KindUser+1, &confObj{},
+		func(data any) []byte {
+			g := data.(*confObj).got
+			return []byte{byte(g >> 24), byte(g >> 16), byte(g >> 8), byte(g)}
+		},
+		func(b []byte) any {
+			if len(b) != 4 {
+				return &confObj{}
+			}
+			return &confObj{got: int(b[0])<<24 | int(b[1])<<16 | int(b[2])<<8 | int(b[3])}
+		})
 }
 
 // runConformance executes a fully program-driven workload (no load balancing
@@ -131,5 +149,45 @@ func TestCrossBackendConformance(t *testing.T) {
 		if !reflect.DeepEqual(simPlace[p], want) {
 			t.Errorf("processor %d holds %v, want %v", p, simPlace[p], want)
 		}
+	}
+}
+
+// TestWireWrappedConformance: the serialization loopback must preserve the
+// cross-backend agreement — wire-wrapped simulator and wire-wrapped rtm
+// both reproduce the plain simulator's statistics and placement exactly,
+// even though every migration, work message, and ack now crosses the binary
+// codec (the mobile objects' own data included, via the RegisterDataCodec
+// hooks above).
+func TestWireWrappedConformance(t *testing.T) {
+	const procs, objects = 4, 16
+	plainStats, plainPlace := runConformance(t, sim.NewMachine(sim.Config{Seed: 9}), procs, objects)
+
+	wsim := wire.Wrap(sim.NewMachine(sim.Config{Seed: 9}))
+	wsimStats, wsimPlace := runConformance(t, wsim, procs, objects)
+	if !reflect.DeepEqual(plainStats, wsimStats) {
+		t.Errorf("wire-wrapped sim diverges:\n plain: %+v\n wire: %+v", plainStats, wsimStats)
+	}
+	if !reflect.DeepEqual(plainPlace, wsimPlace) {
+		t.Errorf("wire-wrapped sim placement diverges:\n plain: %v\n wire: %v", plainPlace, wsimPlace)
+	}
+	if wsim.Frames() == 0 {
+		t.Error("wire-wrapped sim encoded no frames")
+	}
+	if wsim.SizeDrift() != 0 {
+		t.Errorf("wire-wrapped sim: %d of %d frames exceeded their modeled size", wsim.SizeDrift(), wsim.Frames())
+	}
+
+	cfg := rtm.DefaultConfig()
+	cfg.Seed = 9
+	wrtm := wire.Wrap(rtm.New(cfg))
+	wrtmStats, wrtmPlace := runConformance(t, wrtm, procs, objects)
+	if !reflect.DeepEqual(plainStats, wrtmStats) {
+		t.Errorf("wire-wrapped rtm diverges:\n plain: %+v\n wire: %+v", plainStats, wrtmStats)
+	}
+	if !reflect.DeepEqual(plainPlace, wrtmPlace) {
+		t.Errorf("wire-wrapped rtm placement diverges:\n plain: %v\n wire: %v", plainPlace, wrtmPlace)
+	}
+	if wrtm.Frames() == 0 {
+		t.Error("wire-wrapped rtm encoded no frames")
 	}
 }

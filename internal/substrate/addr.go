@@ -1,0 +1,54 @@
+package substrate
+
+// Addr names a processor in a (possibly multi-node) deployment: the node —
+// the OS process hosting a group of processors — plus the processor's global
+// rank. The in-process backends (sim, rtm) host every processor on node 0;
+// the future distributed backend (cmd/premad) will spread ranks across
+// nodes and route frames by Addr.
+type Addr struct {
+	// Node is the hosting node id (0 in single-process backends).
+	Node int
+	// Proc is the global processor id, the same rank Endpoint.ID reports.
+	Proc int
+}
+
+// Router is a machine's routing table: the processor-rank → address map a
+// transport consults to pick the link that reaches a destination. Machines
+// that can host processors on several nodes implement it; single-process
+// backends fall back to SingleNode via RouterOf. The distributed backend
+// extends the table on node join/leave.
+type Router interface {
+	// AddrOf returns the address of the given global processor id.
+	AddrOf(proc int) Addr
+	// NumNodes returns the number of nodes in the table.
+	NumNodes() int
+}
+
+// SingleNode is the trivial routing table: every processor lives on node 0.
+type SingleNode struct {
+	// Procs is the machine size (AddrOf does not range-check; the table
+	// carries it so callers can enumerate ranks).
+	Procs int
+}
+
+// AddrOf implements Router.
+func (s SingleNode) AddrOf(proc int) Addr { return Addr{Node: 0, Proc: proc} }
+
+// NumNodes implements Router.
+func (s SingleNode) NumNodes() int { return 1 }
+
+// RouterOf returns m's routing table, unwrapping decorators (trace, wire,
+// faulty expose Unwrap) until a machine implements Router; if none does, it
+// returns a SingleNode table sized to the machine.
+func RouterOf(m Machine) Router {
+	for cur := m; ; {
+		if r, ok := cur.(Router); ok {
+			return r
+		}
+		u, ok := cur.(interface{ Unwrap() Machine })
+		if !ok {
+			return SingleNode{Procs: m.NumProcs()}
+		}
+		cur = u.Unwrap()
+	}
+}

@@ -10,12 +10,13 @@ import (
 )
 
 // TestStackDoesNotImportSim guards the substrate seam: the PREMA stack
-// (dmcs, mol, ilb, policy, core, coll) must depend only on this package,
-// never on a concrete backend. A direct import of internal/sim or
-// internal/rtm from one of these layers would silently re-couple the stack
-// to one backend; this test turns that into a build-time-visible failure.
+// (dmcs, mol, ilb, policy, core, coll, recov) and the wire codec must
+// depend only on this package, never on a concrete backend. A direct
+// import of internal/sim or internal/rtm from one of these layers would
+// silently re-couple the stack to one backend; this test turns that into a
+// build-time-visible failure.
 func TestStackDoesNotImportSim(t *testing.T) {
-	layers := []string{"dmcs", "mol", "ilb", "policy", "core", "coll"}
+	layers := []string{"dmcs", "mol", "ilb", "policy", "core", "coll", "recov", "wire"}
 	banned := []string{"prema/internal/sim", "prema/internal/rtm"}
 	fset := token.NewFileSet()
 	for _, layer := range layers {

@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"fmt"
+
+	"prema/internal/substrate"
+)
+
+// Frame layout (all fixed-width big-endian):
+//
+//	magic   u16  0x5052 "PR"
+//	version u8   1
+//	src     i32  sending processor rank
+//	dst     i32  destination processor rank
+//	kind    i32  substrate.Msg.Kind (dmcs handler id, or -1 for protocol acks)
+//	tag     i32  substrate.Msg.Tag (TagApp / TagSystem)
+//	size    i32  modeled payload size in bytes (prices virtual transfer time)
+//	seq     u64  reliable-mode sequence number (0 when unsequenced)
+//	sentAt  i64  substrate.Msg.SentAt (stamped by the transport, 0 pre-send)
+//	plen    u32  encoded payload length
+//	payload plen bytes: one EncodeAny (kind u16 + body)
+//	padding max(0, size-plen) zero bytes
+//
+// The padding makes the on-wire payload occupy max(plen, size) bytes, so a
+// frame's length reflects the *modeled* message volume whenever the model
+// is honest — PR 10's TCP transport then carries exactly the byte volumes
+// the simulator priced. plen > size is modeled-size drift; EncodeMsg
+// reports it and wire.Machine counts it (wire_size_drift_total).
+// ArrivedAt is deliberately absent: the receiving transport stamps it.
+const (
+	frameMagic   = 0x5052
+	frameVersion = 1
+	headerBytes  = 2 + 1 + 5*4 + 8 + 8 + 4
+)
+
+// AppendMsg encodes m as one self-delimiting frame into w and returns the
+// encoded payload length (before padding), for size-drift auditing.
+func AppendMsg(w *Writer, m *substrate.Msg) int {
+	w.U16(frameMagic)
+	w.U8(frameVersion)
+	w.I32(int32(m.Src))
+	w.I32(int32(m.Dst))
+	w.I32(int32(m.Kind))
+	w.I32(int32(m.Tag))
+	w.I32(int32(m.Size))
+	w.U64(m.Seq)
+	w.I64(int64(m.SentAt))
+	lenAt := w.Len()
+	w.U32(0) // payload length, patched below
+	EncodeAny(w, m.Data)
+	plen := w.Len() - lenAt - 4
+	buf := w.Buf()
+	buf[lenAt] = byte(plen >> 24)
+	buf[lenAt+1] = byte(plen >> 16)
+	buf[lenAt+2] = byte(plen >> 8)
+	buf[lenAt+3] = byte(plen)
+	if pad := m.Size - plen; pad > 0 {
+		w.Zeros(pad)
+	}
+	return plen
+}
+
+// EncodeMsg encodes m as one frame, returning the frame bytes and the
+// encoded payload length (before padding).
+func EncodeMsg(m *substrate.Msg) ([]byte, int) {
+	var w Writer
+	plen := AppendMsg(&w, m)
+	return w.Buf(), plen
+}
+
+// DecodeMsg parses one frame into a fresh Msg sharing no memory with the
+// sender's value. Corrupt, truncated, or trailing-garbage input returns an
+// error; it never panics. ArrivedAt is left zero for the transport to
+// stamp on delivery.
+func DecodeMsg(b []byte) (*substrate.Msg, error) {
+	r := NewReader(b)
+	if magic := r.U16(); r.Err() == nil && magic != frameMagic {
+		return nil, fmt.Errorf("wire: bad frame magic %#04x", magic)
+	}
+	if v := r.U8(); r.Err() == nil && v != frameVersion {
+		return nil, fmt.Errorf("wire: unsupported frame version %d", v)
+	}
+	m := &substrate.Msg{}
+	m.Src = int(r.I32())
+	m.Dst = int(r.I32())
+	m.Kind = int(r.I32())
+	m.Tag = int(r.I32())
+	m.Size = int(r.I32())
+	m.Seq = r.U64()
+	m.SentAt = substrate.Time(r.I64())
+	plen := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if plen > r.Remaining() {
+		return nil, fmt.Errorf("wire: payload length %d exceeds frame (%d bytes remain)", plen, r.Remaining())
+	}
+	payloadEnd := headerBytes + plen
+	m.Data = DecodeAny(r)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if got := len(b) - r.Remaining(); got != payloadEnd {
+		return nil, fmt.Errorf("wire: payload codec consumed %d bytes, frame declared %d", got-headerBytes, plen)
+	}
+	if pad := m.Size - plen; pad > 0 {
+		for _, z := range r.take(pad) {
+			if z != 0 {
+				return nil, fmt.Errorf("wire: nonzero padding byte")
+			}
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after frame", r.Remaining())
+	}
+	return m, nil
+}

@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"prema/internal/substrate"
+)
+
+// Machine is the serialization-enforcing loopback: a substrate decorator
+// that encodes every outgoing Msg to its wire frame at Send and hands the
+// transport a freshly decoded copy. Nothing downstream — the network, the
+// receiver, a fault injector duplicating deliveries — can ever alias the
+// sender's memory, which is the property a real distributed transport
+// needs and a shared-memory Msg.Data can silently violate.
+//
+// Wrap composes with the other decorators; the canonical chain is
+// trace.Wrap(faulty.Wrap(wire.Wrap(backend))) — wire innermost, so the
+// fault injector and tracer observe exactly the (decoded) messages they
+// would see on a plain run. The codec charges zero virtual time and uses
+// no RNG, so a wrapped run is byte-identical to a plain one; the only cost
+// is host CPU. Along the way every frame audits the modeled Msg.Size
+// against the real encoding (SizeDrift, surfaced as the
+// wire_size_drift_total metrics counter).
+type Machine struct {
+	inner substrate.Machine
+
+	frames    atomic.Uint64 // frames encoded (= wrapped sends)
+	wireBytes atomic.Uint64 // total frame bytes, padding included
+	sizeDrift atomic.Uint64 // sends whose encoding exceeded modeled Size
+}
+
+// Wrap decorates m with the serialization loopback.
+func Wrap(m substrate.Machine) *Machine { return &Machine{inner: m} }
+
+// Unwrap returns the decorated machine (decorator-chain walking).
+func (w *Machine) Unwrap() substrate.Machine { return w.inner }
+
+// Frames returns the number of messages that crossed the wire codec.
+func (w *Machine) Frames() uint64 { return w.frames.Load() }
+
+// WireBytes returns the total encoded frame bytes, padding included.
+func (w *Machine) WireBytes() uint64 { return w.wireBytes.Load() }
+
+// SizeDrift returns the number of sends whose encoded payload exceeded the
+// modeled Msg.Size — messages whose virtual transfer price undercounts the
+// real byte volume. A zero-drift run means the cost model is honest.
+func (w *Machine) SizeDrift() uint64 { return w.sizeDrift.Load() }
+
+// Router exposes the inner machine's routing table (see substrate.RouterOf).
+func (w *Machine) Router() substrate.Router { return substrate.RouterOf(w.inner) }
+
+// Spawn implements substrate.Machine, interposing the codec endpoint.
+func (w *Machine) Spawn(name string, body func(substrate.Endpoint)) {
+	w.inner.Spawn(name, func(ep substrate.Endpoint) {
+		body(&Endpoint{inner: ep, m: w})
+	})
+}
+
+// Run implements substrate.Machine.
+func (w *Machine) Run() error { return w.inner.Run() }
+
+// Stop implements substrate.Machine.
+func (w *Machine) Stop() { w.inner.Stop() }
+
+// NumProcs implements substrate.Machine.
+func (w *Machine) NumProcs() int { return w.inner.NumProcs() }
+
+// Now implements substrate.Machine.
+func (w *Machine) Now() substrate.Time { return w.inner.Now() }
+
+// Makespan implements substrate.Machine.
+func (w *Machine) Makespan() substrate.Time { return w.inner.Makespan() }
+
+// Account implements substrate.Machine.
+func (w *Machine) Account(i int) *substrate.Account { return w.inner.Account(i) }
+
+// Endpoint is the per-processor codec interposer. Every method but Send
+// delegates untouched.
+type Endpoint struct {
+	inner substrate.Endpoint
+	m     *Machine
+	enc   Writer // per-endpoint scratch buffer, reused across sends
+}
+
+// Send implements substrate.Endpoint: m is encoded to its wire frame,
+// decoded back into a fresh Msg, and the copy — never m itself — is handed
+// to the transport. Encoding panics on an unregistered payload type; a
+// frame this endpoint produced failing to decode is an invariant violation
+// and also panics (corrupt *external* input returns errors from DecodeMsg;
+// here both ends are this process).
+func (e *Endpoint) Send(m *substrate.Msg, cat substrate.Category) {
+	e.enc.Reset()
+	plen := AppendMsg(&e.enc, m)
+	frame := e.enc.Buf()
+	dm, err := DecodeMsg(frame)
+	if err != nil {
+		panic(fmt.Sprintf("wire: frame round trip failed for %T payload: %v", m.Data, err))
+	}
+	e.m.frames.Add(1)
+	e.m.wireBytes.Add(uint64(len(frame)))
+	if plen > m.Size {
+		e.m.sizeDrift.Add(1)
+	}
+	e.inner.Send(dm, cat)
+}
+
+// Now implements substrate.Clock.
+func (e *Endpoint) Now() substrate.Time { return e.inner.Now() }
+
+// ID implements substrate.Endpoint.
+func (e *Endpoint) ID() int { return e.inner.ID() }
+
+// Name implements substrate.Endpoint.
+func (e *Endpoint) Name() string { return e.inner.Name() }
+
+// NumPeers implements substrate.Endpoint.
+func (e *Endpoint) NumPeers() int { return e.inner.NumPeers() }
+
+// Rand implements substrate.Endpoint.
+func (e *Endpoint) Rand() *rand.Rand { return e.inner.Rand() }
+
+// Account implements substrate.Endpoint.
+func (e *Endpoint) Account() *substrate.Account { return e.inner.Account() }
+
+// Charge implements substrate.Endpoint.
+func (e *Endpoint) Charge(cat substrate.Category, d substrate.Time) { e.inner.Charge(cat, d) }
+
+// Advance implements substrate.Endpoint.
+func (e *Endpoint) Advance(d substrate.Time, cat substrate.Category) { e.inner.Advance(d, cat) }
+
+// InboxLen implements substrate.Endpoint.
+func (e *Endpoint) InboxLen() int { return e.inner.InboxLen() }
+
+// HasMsg implements substrate.Endpoint.
+func (e *Endpoint) HasMsg(tag int) bool { return e.inner.HasMsg(tag) }
+
+// TryRecv implements substrate.Endpoint.
+func (e *Endpoint) TryRecv(cat substrate.Category) *substrate.Msg { return e.inner.TryRecv(cat) }
+
+// TryRecvTag implements substrate.Endpoint.
+func (e *Endpoint) TryRecvTag(tag int, cat substrate.Category) *substrate.Msg {
+	return e.inner.TryRecvTag(tag, cat)
+}
+
+// Recv implements substrate.Endpoint.
+func (e *Endpoint) Recv(waitCat substrate.Category) *substrate.Msg { return e.inner.Recv(waitCat) }
+
+// WaitMsg implements substrate.Endpoint.
+func (e *Endpoint) WaitMsg(cat substrate.Category) { e.inner.WaitMsg(cat) }
+
+// WaitMsgFor implements substrate.Endpoint.
+func (e *Endpoint) WaitMsgFor(d substrate.Time, cat substrate.Category) bool {
+	return e.inner.WaitMsgFor(d, cat)
+}
