@@ -9,9 +9,19 @@
 //	           [-procs 32] [-units-per-proc 32] [-shards S] \
 //	           [-partition roundrobin|blocked|loaded] [-wire] \
 //	           [-fault-plan "drop=0.2,dup=0.1"] [-fault-seed 1] \
-//	           [-rto 50ms] [-backend sim|real] [-timescale 1e-2] [-spin] \
+//	           [-rto 50ms] [-backend sim|real|dist] [-timescale 1e-2] [-spin] \
+//	           [-nodes N -dist-listen HOST:PORT] [-premad PATH] [-dist-attach] \
 //	           [-recover] [-checkpoint-interval 1s] [-lease-timeout 500ms] \
 //	           [-trace trace.json] [-metrics metrics.txt]
+//
+// -backend=dist runs each leg of the triple as a full multi-process session:
+// a coordinator in this command plus -nodes premad daemons (spawned per leg,
+// or externally started with -dist-attach) connected by a TCP mesh. -nodes
+// and -dist-listen are required together. The fault plan is shipped to every
+// node and injected at its local substrate seam, so drops and duplications
+// hit intra-node delivery on real processes while the reliable protocol
+// repairs them; fail-stop clauses (and -recover) are in-process only, as are
+// -wire, -trace, and -metrics.
 //
 // -wire interposes the binary wire codec (internal/wire) beneath the fault
 // injector: every Send is encoded into a frame and delivered as a freshly
@@ -79,7 +89,11 @@ func main() {
 	planS := flag.String("fault-plan", "drop=0.2,dup=0.1", "fault plan (faulty syntax; \"none\" = clean)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
 	rto := flag.Duration("rto", 50*time.Millisecond, "reliable-mode initial retransmission timeout")
-	backend := flag.String("backend", "sim", "execution substrate: sim (deterministic) | real (goroutines)")
+	backend := flag.String("backend", "sim", "execution substrate: sim (deterministic) | real (goroutines) | dist (node processes over TCP)")
+	nodes := flag.Int("nodes", 0, "dist backend: node process count (required with -backend=dist)")
+	distListen := flag.String("dist-listen", "", "dist backend: coordinator listen address, host:port (required with -backend=dist; port 0 picks a free one)")
+	premadPath := flag.String("premad", "", "dist backend: premad binary to spawn (default: next to this executable, then PATH)")
+	distAttach := flag.Bool("dist-attach", false, "dist backend: do not spawn node daemons; externally started premads dial the coordinator (they must serve one session per run: three per figure)")
 	timescale := flag.Float64("timescale", 1e-2, "real backend: wall seconds per virtual second")
 	spin := flag.Bool("spin", false, "real backend: busy-wait instead of sleeping")
 	wireOn := flag.Bool("wire", false, "run behind the serialization loopback (wire codec; output is identical)")
@@ -107,8 +121,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chaosbench: -timescale must be positive (got %g)\n", *timescale)
 		os.Exit(2)
 	}
-	if *backend != "sim" && *backend != "real" {
-		fmt.Fprintf(os.Stderr, "chaosbench: unknown backend %q (want sim or real)\n", *backend)
+	if *backend != "sim" && *backend != "real" && *backend != "dist" {
+		fmt.Fprintf(os.Stderr, "chaosbench: unknown backend %q (want sim, real, or dist)\n", *backend)
+		os.Exit(2)
+	}
+	isDist := *backend == "dist"
+	if isDist {
+		if *nodes < 1 || *distListen == "" {
+			fmt.Fprintln(os.Stderr, "chaosbench: -backend=dist requires -nodes and -dist-listen together")
+			os.Exit(2)
+		}
+		if *nodes > *procs {
+			fmt.Fprintf(os.Stderr, "chaosbench: -nodes %d exceeds -procs %d (every node hosts at least one processor)\n", *nodes, *procs)
+			os.Exit(2)
+		}
+		if *partition != "roundrobin" {
+			fmt.Fprintln(os.Stderr, "chaosbench: -partition applies to the simulator backend only; use -backend=sim")
+			os.Exit(2)
+		}
+		if !bench.WiredSystem(*system) {
+			fmt.Fprintf(os.Stderr, "chaosbench: system %q is a cost model without a transport and is simulator-only; use -backend=sim\n", *system)
+			os.Exit(2)
+		}
+		if *wireOn {
+			fmt.Fprintln(os.Stderr, "chaosbench: -wire applies to the in-process backends; the distributed backend already serializes every remote message")
+			os.Exit(2)
+		}
+		if *recoverOn {
+			fmt.Fprintln(os.Stderr, "chaosbench: -recover (fail-stop crash recovery) is not supported on the distributed backend")
+			os.Exit(2)
+		}
+		if *traceOut != "" || *metricsOut != "" {
+			fmt.Fprintln(os.Stderr, "chaosbench: -trace and -metrics apply to the in-process backends; use premabench -backend=dist -trace for per-node timelines")
+			os.Exit(2)
+		}
+	} else if *nodes != 0 || *distListen != "" || *premadPath != "" || *distAttach {
+		fmt.Fprintln(os.Stderr, "chaosbench: -nodes, -dist-listen, -premad, and -dist-attach apply to the distributed backend only; use -backend=dist")
 		os.Exit(2)
 	}
 	if *shards < 1 {
@@ -189,9 +237,16 @@ func main() {
 		fmt.Printf("=== Figure %d scenario: imbalance %.0f%%, heavy = %.1fx light (procs=%d, units=%d, backend=%s) ===\n",
 			spec.ID, spec.Imbalance*100, spec.Ratio, w.Procs, w.Units, *backend)
 		sink.fig = spec.ID
-		rec := recovOpts{on: *recoverOn, interval: substrate.FromDuration(*ckptInterval), lease: substrate.FromDuration(*leaseTimeout)}
-		if !run(w, *system, plan, *faultSeed, rel, rec, *backend, *timescale, *spin, sink) {
-			failed = true
+		if isDist {
+			opt := bench.DistOptions{Nodes: *nodes, Listen: *distListen, Premad: *premadPath, Attach: *distAttach}
+			if !runDistTriple(w, *system, *planS, plan.Active(), *faultSeed, rel, *timescale, *spin, opt) {
+				failed = true
+			}
+		} else {
+			rec := recovOpts{on: *recoverOn, interval: substrate.FromDuration(*ckptInterval), lease: substrate.FromDuration(*leaseTimeout)}
+			if !run(w, *system, plan, *faultSeed, rel, rec, *backend, *timescale, *spin, sink) {
+				failed = true
+			}
 		}
 		fmt.Println()
 	}
@@ -241,6 +296,56 @@ func (ts traceSink) write(label string, col *trace.Collector, r *bench.Result) b
 		fmt.Printf("  wrote %s\n", path)
 	}
 	return true
+}
+
+// runDistTriple is the clean / reliable / faulted triple on the distributed
+// backend: three full multi-process sessions (the node daemons are spawned —
+// or, with -dist-attach, dial in — once per leg). Fault injection happens at
+// each node's substrate seam, so the injected-fault counts stay node-local;
+// the cross-process ground truth reported here is conservation and the unit
+// totals merged from every node's partial result.
+func runDistTriple(w bench.Workload, system, planS string, planActive bool, faultSeed int64, rel dmcs.RelConfig, timescale float64, spin bool, opt bench.DistOptions) bool {
+	ok := true
+	runOne := func(label string, reliable bool, faultPlan string) *bench.Result {
+		spec := bench.NewDistSpec(system, w)
+		spec.TimeScale = timescale
+		spec.Spin = spin
+		spec.Reliable = reliable
+		if reliable {
+			spec.RTO = rel.RTO
+		}
+		spec.FaultPlan = faultPlan
+		spec.FaultSeed = faultSeed
+		r, err := bench.RunDist(spec, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaosbench:", err)
+			return nil
+		}
+		report(label, r, faulty.Stats{}, &ok)
+		return r
+	}
+	clean := runOne("clean", false, "")
+	if clean == nil {
+		return false
+	}
+	relRes := runOne("reliable", true, "")
+	if relRes == nil {
+		return false
+	}
+	overhead := 100 * (relRes.Makespan.Seconds() - clean.Makespan.Seconds()) / clean.Makespan.Seconds()
+	fmt.Printf("  reliable-mode overhead on a fault-free network: %+.2f%% of makespan\n", overhead)
+	if planActive {
+		fRes := runOne("faulted", true, planS)
+		if fRes == nil {
+			return false
+		}
+		if fRes.Counters["units_run"] != clean.Counters["units_run"] {
+			fmt.Printf("  FAIL: faulted run computed %d units, clean run %d\n",
+				fRes.Counters["units_run"], clean.Counters["units_run"])
+			ok = false
+		}
+	}
+	return ok
 }
 
 // recovOpts bundles the crash-recovery flags for one run.

@@ -5,6 +5,7 @@
 //
 //	figures [-fig N] [-procs P] [-units-per-proc U] [-stride S] [-jobs J] \
 //	        [-shards S] [-partition roundrobin|blocked|loaded] [-wire] \
+//	        [-backend sim|dist] [-nodes N -dist-listen HOST:PORT] \
 //	        [-csv DIR] [-trace trace.json] [-metrics metrics.txt]
 //
 // -trace and -metrics re-run the PREMA systems of each selected figure with
@@ -25,6 +26,13 @@
 // wire codec (encode at Send, deliver a decoded copy; the baseline cost
 // models have no transport and run as usual). Output is byte-identical for
 // any -jobs, -shards, and -wire values.
+//
+// -backend=dist replays one figure's PREMA systems (none, prema-explicit,
+// prema-implicit) on the distributed backend: a coordinator in this process
+// plus -nodes premad daemons over localhost TCP, one session per system.
+// Makespans are wall-clock under -timescale and not comparable to the
+// simulator's; the counter and residency columns are. The baseline cost
+// models (parmetis, charm) have no transport and are skipped.
 package main
 
 import (
@@ -56,6 +64,12 @@ func main() {
 	shards := flag.Int("shards", 1, "parallel event-loop shards per simulation (1 = serial engine; output is identical for any value)")
 	partition := flag.String("partition", "roundrobin", "processor-to-shard placement strategy: roundrobin, blocked, or loaded (output is identical for any value)")
 	wireOn := flag.Bool("wire", false, "run the PREMA systems behind the serialization loopback (wire codec; output is identical)")
+	backend := flag.String("backend", "sim", "execution substrate: sim (deterministic) | dist (node processes over TCP; PREMA systems of one -fig)")
+	nodes := flag.Int("nodes", 0, "dist backend: node process count (required with -backend=dist)")
+	distListen := flag.String("dist-listen", "", "dist backend: coordinator listen address, host:port (required with -backend=dist; port 0 picks a free one)")
+	premadPath := flag.String("premad", "", "dist backend: premad binary to spawn (default: next to this executable, then PATH)")
+	distAttach := flag.Bool("dist-attach", false, "dist backend: do not spawn node daemons; externally started premads dial the coordinator (one session per system)")
+	timescale := flag.Float64("timescale", 1e-3, "dist backend: wall seconds per virtual second")
 	csvDir := flag.String("csv", "", "directory to write per-system breakdown CSVs into (plots)")
 	traceOut := flag.String("trace", "", "record the PREMA systems and write Chrome trace JSON per figure+system (base path; figN.system is inserted before the extension)")
 	metricsOut := flag.String("metrics", "", "write aggregated trace metrics per figure+system (base path, same suffixing; .json = JSON)")
@@ -86,8 +100,55 @@ func main() {
 		fmt.Fprintf(os.Stderr, "figures: -partition must be one of %v (got %q)\n", bench.PartitionStrategies, *partition)
 		os.Exit(2)
 	}
+	if *backend != "sim" && *backend != "dist" {
+		fmt.Fprintf(os.Stderr, "figures: unknown backend %q (want sim or dist)\n", *backend)
+		os.Exit(2)
+	}
+	isDist := *backend == "dist"
+	if isDist {
+		if *nodes < 1 || *distListen == "" {
+			fmt.Fprintln(os.Stderr, "figures: -backend=dist requires -nodes and -dist-listen together")
+			os.Exit(2)
+		}
+		if *nodes > *procs {
+			fmt.Fprintf(os.Stderr, "figures: -nodes %d exceeds -procs %d (every node hosts at least one processor)\n", *nodes, *procs)
+			os.Exit(2)
+		}
+		if *fig < 3 || *fig > 6 {
+			fmt.Fprintln(os.Stderr, "figures: -backend=dist runs one figure's PREMA systems; pick it with -fig 3..6")
+			os.Exit(2)
+		}
+		if *timescale <= 0 {
+			fmt.Fprintf(os.Stderr, "figures: -timescale must be positive (got %g)\n", *timescale)
+			os.Exit(2)
+		}
+		if *shards > 1 || *partition != "roundrobin" {
+			fmt.Fprintln(os.Stderr, "figures: -shards and -partition apply to the simulator backend only; use -backend=sim")
+			os.Exit(2)
+		}
+		if *wireOn {
+			fmt.Fprintln(os.Stderr, "figures: -wire applies to the simulator backend; the distributed backend already serializes every remote message")
+			os.Exit(2)
+		}
+		if *traceOut != "" || *metricsOut != "" {
+			fmt.Fprintln(os.Stderr, "figures: -trace and -metrics apply to the simulator backend; use premabench -backend=dist -trace for per-node timelines")
+			os.Exit(2)
+		}
+	} else if *nodes != 0 || *distListen != "" || *premadPath != "" || *distAttach {
+		fmt.Fprintln(os.Stderr, "figures: -nodes, -dist-listen, -premad, and -dist-attach apply to the distributed backend only; use -backend=dist")
+		os.Exit(2)
+	}
 	if *fig == 1 {
 		fmt.Print(taxonomy)
+		return
+	}
+	if isDist {
+		if err := runDistFigure(*fig, *procs, *upp, *stride, *timescale, *csvDir, bench.DistOptions{
+			Nodes: *nodes, Listen: *distListen, Premad: *premadPath, Attach: *distAttach,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	var specs []bench.FigureSpec
@@ -128,8 +189,45 @@ func main() {
 }
 
 // tracedSystems are the figure configurations that run a real transport and
-// can therefore record a trace (the baseline cost models cannot).
+// can therefore record a trace — or run distributed (the baseline cost
+// models can do neither).
 var tracedSystems = []string{"none", "prema-explicit", "prema-implicit"}
+
+// runDistFigure runs one figure's transport-backed systems as full
+// multi-process sessions, one after another (concurrent sessions would
+// distort each other's wall-clock), and prints the same summary/breakdown
+// shape as the simulator sweep. The makespans are wall-clock-derived and not
+// comparable to the simulator's; the counters and residency are.
+func runDistFigure(fig, procs, upp, stride int, timescale float64, csvDir string, opt bench.DistOptions) error {
+	spec, err := bench.FigureByID(fig)
+	if err != nil {
+		return err
+	}
+	w := bench.PaperWorkload(spec, procs, upp)
+	fmt.Printf("=== Figure %d (distributed backend): imbalance %.0f%%, heavy = %.1fx light (procs=%d, units=%d, nodes=%d) ===\n",
+		spec.ID, spec.Imbalance*100, spec.Ratio, w.Procs, w.Units, opt.Nodes)
+	var results []*bench.Result
+	for _, name := range tracedSystems {
+		ds := bench.NewDistSpec(name, w)
+		ds.TimeScale = timescale
+		r, err := bench.RunDist(ds, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + r.Summary())
+		results = append(results, r)
+	}
+	if stride > 0 {
+		fmt.Println("\nPer-processor breakdowns:")
+		for _, r := range results {
+			fmt.Println(r.Breakdown(stride))
+		}
+	}
+	if csvDir != "" {
+		return writeResultCSVs(csvDir, spec.ID, results)
+	}
+	return nil
+}
 
 // writeTraces re-runs the PREMA systems of each figure with event tracing
 // attached and exports one trace/metrics file per (figure, system). Tracing
@@ -187,11 +285,15 @@ func writeTraces(specs []bench.FigureSpec, procs, upp, jobs, shards, ring int, p
 
 // writeCSVs dumps one breakdown CSV per system of the figure.
 func writeCSVs(dir string, fr *bench.FigureRun) error {
+	return writeResultCSVs(dir, fr.Spec.ID, fr.Results)
+}
+
+func writeResultCSVs(dir string, figID int, results []*bench.Result) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for _, r := range fr.Results {
-		path := filepath.Join(dir, fmt.Sprintf("fig%d_%s.csv", fr.Spec.ID, r.System))
+	for _, r := range results {
+		path := filepath.Join(dir, fmt.Sprintf("fig%d_%s.csv", figID, r.System))
 		f, err := os.Create(path)
 		if err != nil {
 			return err

@@ -1,16 +1,18 @@
 // Command perfbench measures the simulator's host performance and the sweep
 // runner's parallel speedup, and writes the numbers to a JSON file (the
-// repository's BENCH trajectory: BENCH_PR9.json at the repo root).
+// repository's BENCH trajectory: BENCH_PR10.json at the repo root).
 //
 // Usage:
 //
-//	perfbench [-out BENCH_PR9.json] [-procs 128] [-units-per-proc 128] \
+//	perfbench [-out BENCH_PR10.json] [-procs 128] [-units-per-proc 128] \
 //	          [-jobs J] [-events 500000] [-partition loaded] \
 //	          [-skip-sweep] [-skip-trace] [-skip-shards] [-skip-windows] \
-//	          [-skip-scale] [-skip-large] [-skip-wire] [-scale-procs 4096] \
-//	          [-scale-objects 256] [-large-procs 1024] [-large-upp 16]
+//	          [-skip-scale] [-skip-large] [-skip-wire] [-skip-dist] \
+//	          [-scale-procs 4096] [-scale-objects 256] \
+//	          [-large-procs 1024] [-large-upp 16] \
+//	          [-dist-rounds 5000] [-premad PATH]
 //
-// It reports seven layers, matching the levels of the performance work:
+// It reports eight layers, matching the levels of the performance work:
 //
 //   - engine: microbenchmarks of the discrete-event core — ns/event,
 //     allocs/event and events/sec for the Advance hot path, plus the
@@ -45,7 +47,15 @@
 //     kind, the active-message round trip on a wire-wrapped machine vs the
 //     raw engine, and a figure scenario run with the loopback on and off
 //     (the outputs must match byte-for-byte, and the Msg.Size audit must
-//     report zero drift).
+//     report zero drift);
+//   - dist: the distributed backend (internal/dist) — a two-node TCP
+//     round-trip probe: rank 0 bounces -dist-rounds messages off rank 1,
+//     each crossing the full encode/frame/socket/decode path twice, and
+//     the wall-clock mean is the transport's message latency. The nodes
+//     are spawned premad processes (resolved next to this executable,
+//     then PATH, or via -premad); when no premad binary exists, the probe
+//     falls back to two in-process nodes over the same localhost sockets
+//     and says so in the mode field.
 //
 // The host section also records how the auto jobs clamp resolves jobs ×
 // shards against GOMAXPROCS for each shard count used here, so the ledger
@@ -64,11 +74,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"prema/internal/bench"
+	"prema/internal/dist"
 	"prema/internal/dmcs"
 	"prema/internal/sim"
 	"prema/internal/substrate"
@@ -88,6 +101,23 @@ type Report struct {
 	Windows *WindowInfo `json:"windows,omitempty"`
 	Scale   *ScaleInfo  `json:"scale,omitempty"`
 	Wire    *WireInfo   `json:"wire,omitempty"`
+	Dist    *DistInfo   `json:"dist,omitempty"`
+}
+
+// DistInfo holds the distributed-backend axis: the two-node TCP round-trip
+// probe (bench system "pingpong"). Every round trip is two active messages
+// through the full encode/frame/localhost-socket/decode path, so
+// am_latency_ns (half the round trip) is the one-way message latency of the
+// real transport — the number to compare against the wire loopback's
+// am_roundtrip_ns, which pays the codec but no socket.
+type DistInfo struct {
+	Nodes       int     `json:"nodes"`
+	Mode        string  `json:"mode"` // "spawn" (premad processes) or "in-process" (fallback)
+	Rounds      int     `json:"rounds"`
+	RoundTripNs float64 `json:"roundtrip_ns"`
+	AMLatencyNs float64 `json:"am_latency_ns"`
+	WireFrames  uint64  `json:"wire_frames"`
+	VsSimAMX    float64 `json:"vs_sim_am_x,omitempty"` // roundtrip_ns / the raw engine's am_roundtrip_ns
 }
 
 // WireInfo holds the serialization-loopback axis: the binary codec's
@@ -282,7 +312,7 @@ type SweepInfo struct {
 var shardCounts = []int{1, 2, 4, 8}
 
 func main() {
-	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR10.json", "output JSON path")
 	procs := flag.Int("procs", 128, "simulated processors for the sweep, trace, and windows timing")
 	upp := flag.Int("units-per-proc", 128, "work units per processor for the sweep, trace, and windows timing")
 	jobs := flag.Int("jobs", sweep.DefaultJobs(), "parallel sweep worker count")
@@ -295,6 +325,9 @@ func main() {
 	skipScale := flag.Bool("skip-scale", false, "skip the scale-push axis")
 	skipLarge := flag.Bool("skip-large", false, "skip the large-scale scenario of the shards axis")
 	skipWire := flag.Bool("skip-wire", false, "skip the serialization-loopback axis")
+	skipDist := flag.Bool("skip-dist", false, "skip the distributed-backend round-trip probe")
+	distRounds := flag.Int("dist-rounds", 5000, "distributed probe: TCP round trips to time")
+	premadPath := flag.String("premad", "", "distributed probe: premad binary to spawn (default: next to this executable, then PATH; falls back to in-process nodes)")
 	scaleProcs := flag.Int("scale-procs", 4096, "scale push: simulated processors")
 	scaleObjects := flag.Int("scale-objects", 256, "scale push: objects per processor")
 	largeProcs := flag.Int("large-procs", 1024, "large-scale scenario: simulated processors")
@@ -321,9 +354,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "perfbench: -partition must be one of %v (got %q)\n", bench.PartitionStrategies, *partition)
 		os.Exit(2)
 	}
+	if *distRounds < 1 {
+		fmt.Fprintln(os.Stderr, "perfbench: -dist-rounds must be positive")
+		os.Exit(2)
+	}
 
 	rep := Report{
-		Bench: "PR9",
+		Bench: "PR10",
 		Host: HostInfo{
 			GoVersion:  runtime.Version(),
 			GOOS:       runtime.GOOS,
@@ -433,6 +470,18 @@ func main() {
 			wi.AMRoundTripNs, wi.AMOverheadPct)
 		fmt.Printf("  fig %d:    %s  frames=%d  size_drift=%d  identical=%v\n",
 			wi.Figure, wi.System, wi.Frames, wi.SizeDrift, wi.IdenticalToPlain)
+	}
+
+	if !*skipDist {
+		fmt.Printf("perfbench: distributed transport probe (%d TCP round trips, 2 nodes)...\n", *distRounds)
+		di, err := measureDist(*distRounds, *premadPath, rep.Eng.AMRoundTripNs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		rep.Dist = di
+		fmt.Printf("  dist:     %8.1f ns/roundtrip  %8.1f ns one-way  (%s, %d frames, %.0fx the raw engine AM trip)\n",
+			di.RoundTripNs, di.AMLatencyNs, di.Mode, di.WireFrames, di.VsSimAMX)
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
@@ -1040,6 +1089,75 @@ func measureWire(events, procs, upp int, rawAMNs float64) (*WireInfo, error) {
 	wi.IdenticalToPlain = plain.Summary() == wired.Summary() &&
 		plain.Breakdown(1) == wired.Breakdown(1)
 	return wi, nil
+}
+
+// measureDist times the distributed backend's transport: a two-node
+// pingpong session where every round trip is two frames over localhost TCP.
+// The preferred mode spawns real premad processes (full process isolation);
+// when no premad binary can be resolved the probe degrades to two in-process
+// nodes joined over the same sockets, which measures the identical wire path
+// minus the scheduler isolation — and records which mode ran.
+func measureDist(rounds int, premad string, engAMNs float64) (*DistInfo, error) {
+	spec := bench.NewDistSpec("pingpong", bench.Workload{
+		Procs: 2, Units: rounds, UnitBytes: 8, Seed: 7,
+	})
+	mode := "spawn"
+	res, err := bench.RunDist(spec, bench.DistOptions{
+		Nodes: 2, Listen: "127.0.0.1:0", Premad: premad,
+	})
+	if err != nil && strings.Contains(err.Error(), "premad binary not found") {
+		mode = "in-process"
+		res, err = runDistInProcess(spec)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist probe: %w", err)
+	}
+	di := &DistInfo{
+		Nodes:      2,
+		Mode:       mode,
+		Rounds:     res.Counters["pingpong_rounds"],
+		WireFrames: res.WireFrames,
+	}
+	if total := res.Counters["pingpong_ns_total"]; di.Rounds > 0 {
+		di.RoundTripNs = float64(total) / float64(di.Rounds)
+		di.AMLatencyNs = di.RoundTripNs / 2
+	}
+	if engAMNs > 0 {
+		di.VsSimAMX = di.RoundTripNs / engAMNs
+	}
+	return di, nil
+}
+
+// runDistInProcess hosts both session nodes in this process: grab a free
+// port, join two nodes against it, and run the coordinator in attach mode.
+// The frames still cross real localhost sockets.
+func runDistInProcess(spec bench.DistSpec) (*bench.Result, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	const nodes = 2
+	errc := make(chan error, nodes)
+	for i := 0; i < nodes; i++ {
+		go func(i int) {
+			n, err := dist.Join(dist.NodeConfig{Coord: addr, Node: i})
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer n.Close()
+			errc <- bench.RunDistNode(n)
+		}(i)
+	}
+	res, err := bench.RunDist(spec, bench.DistOptions{Nodes: nodes, Listen: addr, Attach: true})
+	for i := 0; i < nodes; i++ {
+		if nerr := <-errc; nerr != nil && err == nil {
+			err = nerr
+		}
+	}
+	return res, err
 }
 
 // measureScale runs the scale-push workload across the shard axis.

@@ -6,7 +6,8 @@
 //	premabench -system prema-implicit -imbalance 0.5 -ratio 2.0 \
 //	           [-procs 128] [-units-per-proc 128] [-stride 8] [-hints mean] \
 //	           [-jobs J] [-shards S] [-partition roundrobin|blocked|loaded] \
-//	           [-backend sim|real] [-timescale 1e-3] [-wire] \
+//	           [-backend sim|real|dist] [-timescale 1e-3] [-wire] \
+//	           [-nodes N -dist-listen HOST:PORT] [-premad PATH] [-dist-attach] \
 //	           [-spin] [-fault-plan PLAN] [-fault-seed N] [-reliable] \
 //	           [-recover] [-checkpoint-interval 1s] [-lease-timeout 500ms] \
 //	           [-trace trace.json] [-metrics metrics.txt] [-trace-ring N]
@@ -61,9 +62,17 @@
 // deterministic discrete-event simulator; "real" runs the PREMA systems with
 // genuine parallelism, one goroutine per processor, burning scaled
 // wall-clock (-timescale wall seconds per virtual second; -spin busy-waits
-// instead of sleeping). The baseline system models (parmetis, charm*) are
-// simulator-only, and multi-system mode is too: concurrent wall-clock runs
-// would distort each other's timing.
+// instead of sleeping); "dist" runs them across separate OS processes — a
+// coordinator in this command plus -nodes premad daemons (spawned
+// automatically, or externally started with -dist-attach) connected by a
+// TCP mesh, each hosting a contiguous processor range. -nodes and
+// -dist-listen are required together with dist; -premad points at the node
+// daemon binary when it is not next to this executable or on PATH. The
+// baseline system models (parmetis, charm*) are simulator-only, and
+// multi-system mode is too: concurrent wall-clock runs would distort each
+// other's timing. On dist, -wire is redundant (remote messages are already
+// serialized), -recover is unsupported, and -trace makes each node write
+// its own timeline as FILE.nodeN.
 package main
 
 import (
@@ -93,7 +102,11 @@ func main() {
 	jobs := flag.Int("jobs", 0, "multi-system mode: max simulations in flight (0 = auto: one per CPU divided by -shards)")
 	shards := flag.Int("shards", 1, "simulator backend: parallel event-loop shards per simulation (output is identical for any value)")
 	partition := flag.String("partition", "roundrobin", "simulator backend: processor-to-shard placement strategy: roundrobin, blocked, or loaded (output is identical for any value)")
-	backend := flag.String("backend", "sim", "execution substrate: sim (deterministic) | real (goroutines)")
+	backend := flag.String("backend", "sim", "execution substrate: sim (deterministic) | real (goroutines) | dist (node processes over TCP)")
+	nodes := flag.Int("nodes", 0, "dist backend: node process count (required with -backend=dist)")
+	distListen := flag.String("dist-listen", "", "dist backend: coordinator listen address, host:port (required with -backend=dist; port 0 picks a free one)")
+	premadPath := flag.String("premad", "", "dist backend: premad binary to spawn (default: next to this executable, then PATH)")
+	distAttach := flag.Bool("dist-attach", false, "dist backend: do not spawn node daemons; externally started premads dial the coordinator")
 	wireOn := flag.Bool("wire", false, "run behind the serialization loopback (wire codec; PREMA systems only; output is identical)")
 	timescale := flag.Float64("timescale", 1e-3, "real backend: wall seconds per virtual second")
 	spin := flag.Bool("spin", false, "real backend: busy-wait instead of sleeping")
@@ -130,6 +143,24 @@ func main() {
 	}
 	if *shards > 1 && *backend != "sim" {
 		fmt.Fprintf(os.Stderr, "premabench: -shards applies to the simulator backend only; use -backend=sim\n")
+		os.Exit(2)
+	}
+	isDist := *backend == "dist"
+	if isDist {
+		if *nodes < 1 || *distListen == "" {
+			fmt.Fprintln(os.Stderr, "premabench: -backend=dist requires -nodes and -dist-listen together")
+			os.Exit(2)
+		}
+		if *nodes > *procs {
+			fmt.Fprintf(os.Stderr, "premabench: -nodes %d exceeds -procs %d (every node hosts at least one processor)\n", *nodes, *procs)
+			os.Exit(2)
+		}
+		if *partition != "roundrobin" {
+			fmt.Fprintln(os.Stderr, "premabench: -partition applies to the simulator backend only; use -backend=sim")
+			os.Exit(2)
+		}
+	} else if *nodes != 0 || *distListen != "" || *premadPath != "" || *distAttach {
+		fmt.Fprintln(os.Stderr, "premabench: -nodes, -dist-listen, -premad, and -dist-attach apply to the distributed backend only; use -backend=dist")
 		os.Exit(2)
 	}
 	if !bench.ValidPartition(*partition) {
@@ -188,6 +219,28 @@ func main() {
 	for i, s := range systems {
 		systems[i] = strings.TrimSpace(s)
 	}
+	if isDist {
+		if len(systems) > 1 {
+			fmt.Fprintln(os.Stderr, "premabench: multi-system mode is simulator-only; use -backend=sim")
+			os.Exit(2)
+		}
+		if !bench.WiredSystem(systems[0]) {
+			fmt.Fprintf(os.Stderr, "premabench: system %q is a cost model without a transport and is simulator-only; use -backend=sim\n", systems[0])
+			os.Exit(2)
+		}
+		if *wireOn {
+			fmt.Fprintln(os.Stderr, "premabench: -wire applies to the in-process backends; the distributed backend already serializes every remote message")
+			os.Exit(2)
+		}
+		if *recoverOn {
+			fmt.Fprintln(os.Stderr, "premabench: -recover (fail-stop crash recovery) is not supported on the distributed backend")
+			os.Exit(2)
+		}
+		if *metricsOut != "" {
+			fmt.Fprintln(os.Stderr, "premabench: -metrics applies to the in-process backends; with -backend=dist use -trace, which each node writes as FILE.nodeN")
+			os.Exit(2)
+		}
+	}
 	if *wireOn {
 		for _, s := range systems {
 			if !bench.WiredSystem(s) {
@@ -211,6 +264,10 @@ func main() {
 				os.Exit(2)
 			}
 		}
+	}
+	if tracing && !isDist {
+		// On the distributed backend the nodes collect and write their own
+		// timelines; the coordinator holds no collector.
 		cols = make([]*trace.Collector, len(systems))
 		for i := range cols {
 			cols[i] = trace.NewCollector(*traceRing)
@@ -220,6 +277,25 @@ func main() {
 	chaos := plan.Active() || *reliable || *recoverOn
 	var results []*bench.Result
 	switch {
+	case isDist:
+		spec := bench.NewDistSpec(systems[0], w)
+		spec.Reliable = *reliable
+		spec.FaultPlan = *planS
+		spec.FaultSeed = *faultSeed
+		spec.TimeScale = *timescale
+		spec.Spin = *spin
+		if *traceOut != "" {
+			spec.TracePath = *traceOut
+			spec.TraceRing = *traceRing
+		}
+		var r *bench.Result
+		r, err = bench.RunDist(spec, bench.DistOptions{
+			Nodes:  *nodes,
+			Listen: *distListen,
+			Premad: *premadPath,
+			Attach: *distAttach,
+		})
+		results = []*bench.Result{r}
 	case chaos:
 		// Fault injection and reliable delivery run through the chaos
 		// driver: only the PREMA configurations have a real transport to
@@ -291,7 +367,7 @@ func main() {
 			fmt.Printf("counters (%s): %v\n", r.System, r.Counters)
 		}
 	}
-	if tracing {
+	if tracing && !isDist {
 		for i, col := range cols {
 			if err := writeTrace(col, results[i], systems[i], len(systems) > 1, *wireOn, *traceOut, *metricsOut); err != nil {
 				fmt.Fprintln(os.Stderr, "premabench:", err)

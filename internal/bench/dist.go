@@ -1,0 +1,463 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+
+	"prema/internal/dist"
+	"prema/internal/dmcs"
+	"prema/internal/faulty"
+	"prema/internal/substrate"
+	"prema/internal/trace"
+	"prema/internal/wire"
+)
+
+// DistSpec is the scenario a coordinator ships to every node of a
+// distributed (multi-process) run: the workload, the system to drive, and
+// the per-node machine tuning. It travels as the Roster's opaque Spec
+// bytes, so every node runs exactly the configuration the coordinator
+// decided — SPMD with centrally distributed parameters.
+type DistSpec struct {
+	// System names the driver: a PREMA configuration ("none",
+	// "prema-explicit", "prema-implicit"), a policy-suite system
+	// ("prema-worksteal", "prema-diffusion", "prema-multilist"), or
+	// "pingpong" (the two-rank transport round-trip probe).
+	System string
+	// Procs, Units, HeavyFrac, Heavy, Light, Hints, UnitBytes, Seed are the
+	// Workload fields (see Workload); sim-only knobs (shards, partition,
+	// wire) do not travel.
+	Procs     int
+	Units     int
+	HeavyFrac float64
+	Heavy     substrate.Time
+	Light     substrate.Time
+	Hints     HintMode
+	UnitBytes int
+	Seed      int64
+	// Reliable switches DMCS into reliable-delivery mode with RTO (zero =
+	// dmcs default).
+	Reliable bool
+	RTO      substrate.Time
+	// FaultPlan injects faults at each node's substrate seam (internal/faulty
+	// syntax; empty = none). Fail-stop clauses are rejected: crash recovery
+	// is not supported across processes.
+	FaultPlan string
+	FaultSeed int64
+	// TimeScale and Spin tune each node's machine (rtm semantics; zero
+	// TimeScale keeps the dist default).
+	TimeScale float64
+	Spin      bool
+	// TracePath, when non-empty, records each node's timeline and writes a
+	// Chrome trace with ".nodeN" suffixed before the extension (the path is
+	// interpreted on each node's filesystem). TraceRing sizes the rings.
+	TracePath string
+	TraceRing int
+}
+
+// NewDistSpec builds the spec for a workload and system with default
+// machine tuning.
+func NewDistSpec(system string, w Workload) DistSpec {
+	return DistSpec{
+		System:    system,
+		Procs:     w.Procs,
+		Units:     w.Units,
+		HeavyFrac: w.HeavyFrac,
+		Heavy:     w.Heavy,
+		Light:     w.Light,
+		Hints:     w.Hints,
+		UnitBytes: w.UnitBytes,
+		Seed:      w.Seed,
+	}
+}
+
+// Workload reconstructs the workload the spec describes.
+func (s DistSpec) Workload() Workload {
+	return Workload{
+		Procs:     s.Procs,
+		Units:     s.Units,
+		HeavyFrac: s.HeavyFrac,
+		Heavy:     s.Heavy,
+		Light:     s.Light,
+		Hints:     s.Hints,
+		UnitBytes: s.UnitBytes,
+		Seed:      s.Seed,
+	}
+}
+
+const distSpecVersion = 1
+
+// Encode serializes the spec for Roster.Spec.
+func (s DistSpec) Encode() []byte {
+	var w wire.Writer
+	w.U8(distSpecVersion)
+	w.Bytes([]byte(s.System))
+	w.Int(s.Procs)
+	w.Int(s.Units)
+	w.F64(s.HeavyFrac)
+	w.I64(int64(s.Heavy))
+	w.I64(int64(s.Light))
+	w.U8(uint8(s.Hints))
+	w.Int(s.UnitBytes)
+	w.I64(s.Seed)
+	w.Bool(s.Reliable)
+	w.I64(int64(s.RTO))
+	w.Bytes([]byte(s.FaultPlan))
+	w.I64(s.FaultSeed)
+	w.F64(s.TimeScale)
+	w.Bool(s.Spin)
+	w.Bytes([]byte(s.TracePath))
+	w.Int(s.TraceRing)
+	return w.Buf()
+}
+
+// DecodeDistSpec parses an encoded spec, rejecting corrupt or
+// version-mismatched input.
+func DecodeDistSpec(b []byte) (DistSpec, error) {
+	r := wire.NewReader(b)
+	if v := r.U8(); r.Err() == nil && v != distSpecVersion {
+		return DistSpec{}, fmt.Errorf("bench: dist spec version %d, want %d", v, distSpecVersion)
+	}
+	s := DistSpec{
+		System:    string(r.Bytes()),
+		Procs:     r.Int(),
+		Units:     r.Int(),
+		HeavyFrac: r.F64(),
+		Heavy:     substrate.Time(r.I64()),
+		Light:     substrate.Time(r.I64()),
+		Hints:     HintMode(r.U8()),
+		UnitBytes: r.Int(),
+		Seed:      r.I64(),
+		Reliable:  r.Bool(),
+		RTO:       substrate.Time(r.I64()),
+		FaultPlan: string(r.Bytes()),
+		FaultSeed: r.I64(),
+		TimeScale: r.F64(),
+		Spin:      r.Bool(),
+		TracePath: string(r.Bytes()),
+		TraceRing: r.Int(),
+	}
+	if err := r.Err(); err != nil {
+		return DistSpec{}, fmt.Errorf("bench: corrupt dist spec: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return DistSpec{}, fmt.Errorf("bench: %d trailing bytes after dist spec", r.Remaining())
+	}
+	return s, nil
+}
+
+// RunDistNode is the node-side driver: it decodes the session spec from the
+// roster, builds this node's machine, runs the selected system (the same
+// driver code the in-process backends run), and reports the node's partial
+// result to the coordinator. premad calls it once per session.
+func RunDistNode(n *dist.Node) error {
+	spec, err := DecodeDistSpec(n.Spec())
+	if err != nil {
+		return err
+	}
+	w := spec.Workload()
+
+	mc := dist.DefaultMachineConfig()
+	if spec.System == "pingpong" {
+		// The round-trip probe measures the raw transport: real time, no
+		// injected message costs.
+		mc = dist.MachineConfig{TimeScale: 1}
+	}
+	if spec.TimeScale > 0 {
+		mc.TimeScale = spec.TimeScale
+	}
+	mc.Spin = spec.Spin
+	mc.Seed = w.Seed
+	dm := n.NewMachine(mc)
+
+	if spec.System == "pingpong" {
+		res, err := runPingPong(dm, w)
+		if err != nil {
+			return err
+		}
+		return n.Report(encodeDistPartial(res))
+	}
+
+	var m substrate.Machine = dm
+	plan, err := faulty.ParsePlan(spec.FaultPlan)
+	if err != nil {
+		return err
+	}
+	if len(plan.Crashes) > 0 || len(plan.Recovers) > 0 {
+		return fmt.Errorf("bench: fail-stop fault clauses are not supported on the dist backend")
+	}
+	if plan.Active() {
+		m = faulty.Wrap(m, plan, spec.FaultSeed)
+	}
+	var col *trace.Collector
+	if spec.TracePath != "" {
+		col = trace.NewCollector(spec.TraceRing)
+		m = trace.Wrap(m, col)
+	}
+
+	var res *Result
+	switch spec.System {
+	case "prema-worksteal", "prema-diffusion", "prema-multilist":
+		res, err = RunPremaPolicyOn(m, w, spec.System[len("prema-"):])
+	default:
+		cfg, cfgErr := PremaConfigFor(spec.System)
+		if cfgErr != nil {
+			return cfgErr
+		}
+		if spec.Reliable {
+			cfg.Rel = dmcs.DefaultRelConfig()
+			if spec.RTO > 0 {
+				cfg.Rel.RTO = spec.RTO
+			}
+		}
+		res, err = RunPremaOn(m, w, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	if col != nil {
+		path := trace.SuffixPath(spec.TracePath, fmt.Sprintf("node%d", n.NodeID()))
+		if err := col.WriteChromeFile(path); err != nil {
+			return err
+		}
+	}
+	return n.Report(encodeDistPartial(res))
+}
+
+// runPingPong is the transport round-trip probe: rank 0 bounces Units
+// messages off rank 1 and measures the wall-clock total. With the standard
+// two-node split the two ranks live in different processes, so the
+// measured time is TCP round trips through the full encode/frame/decode
+// path.
+func runPingPong(dm *dist.Machine, w Workload) (*Result, error) {
+	if w.Procs != 2 {
+		return nil, fmt.Errorf("bench: pingpong needs exactly 2 processors, got %d", w.Procs)
+	}
+	rounds := w.Units
+	var nsTotal int64
+	dm.Spawn("p000", func(ep substrate.Endpoint) {
+		t0 := time.Now()
+		for i := 0; i < rounds; i++ {
+			ep.Send(&substrate.Msg{Dst: 1, Tag: substrate.TagApp, Data: i, Size: 8}, substrate.CatMessaging)
+			ep.Recv(substrate.CatIdle)
+		}
+		nsTotal = time.Since(t0).Nanoseconds()
+	})
+	dm.Spawn("p001", func(ep substrate.Endpoint) {
+		for i := 0; i < rounds; i++ {
+			msg := ep.Recv(substrate.CatIdle)
+			ep.Send(&substrate.Msg{Dst: 0, Tag: substrate.TagApp, Data: msg.Data, Size: 8}, substrate.CatMessaging)
+		}
+	})
+	if err := dm.Run(); err != nil {
+		return nil, fmt.Errorf("bench pingpong: %w", err)
+	}
+	res := collect("pingpong", w, dm)
+	if lo, _ := dm.Range(); lo == 0 {
+		// Only the rank-0 host reports, so the merged counters are not
+		// double-counted.
+		res.Counters["pingpong_rounds"] = rounds
+		res.Counters["pingpong_ns_total"] = int(nsTotal)
+	}
+	return res, nil
+}
+
+const distPartialVersion = 1
+
+// encodeDistPartial serializes the node-local share of a Result: counters,
+// residency, and wire telemetry. Makespan and accounts travel separately in
+// the session's Done/Fin frames.
+func encodeDistPartial(res *Result) []byte {
+	var w wire.Writer
+	w.U8(distPartialVersion)
+	w.Bytes([]byte(res.System))
+	keys := make([]string, 0, len(res.Counters))
+	for k := range res.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.Bytes([]byte(k))
+		w.Int(res.Counters[k])
+	}
+	w.U32(uint32(len(res.Resident)))
+	for _, n := range res.Resident {
+		w.Int(n)
+	}
+	w.U64(res.WireFrames)
+	w.U64(res.WireDrift)
+	return w.Buf()
+}
+
+// distPartial is one node's decoded share.
+type distPartial struct {
+	system     string
+	counters   map[string]int
+	resident   []int
+	wireFrames uint64
+	wireDrift  uint64
+}
+
+func decodeDistPartial(b []byte) (*distPartial, error) {
+	r := wire.NewReader(b)
+	if v := r.U8(); r.Err() == nil && v != distPartialVersion {
+		return nil, fmt.Errorf("bench: dist partial version %d, want %d", v, distPartialVersion)
+	}
+	p := &distPartial{system: string(r.Bytes()), counters: map[string]int{}}
+	for i, n := 0, r.Count(5); i < n; i++ { // key length u32 + >=1 byte + int
+		k := string(r.Bytes())
+		p.counters[k] = r.Int()
+	}
+	if n := r.Count(1); n > 0 {
+		p.resident = make([]int, n)
+		for i := range p.resident {
+			p.resident[i] = r.Int()
+		}
+	}
+	p.wireFrames = r.U64()
+	p.wireDrift = r.U64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("bench: corrupt dist partial: %w", err)
+	}
+	return p, nil
+}
+
+// DistOptions configures the coordinator side of a distributed run.
+type DistOptions struct {
+	// Nodes is the node process count.
+	Nodes int
+	// Listen is the coordinator's control listen address (host:port; port 0
+	// picks a free one).
+	Listen string
+	// Premad is the node daemon binary to spawn ("" resolves "premad" next
+	// to the running executable, then on PATH). Ignored with Attach.
+	Premad string
+	// Attach skips spawning: the node daemons were started externally and
+	// will dial the coordinator themselves.
+	Attach bool
+	// JoinTimeout and DrainTimeout bound the session phases (zero = dist
+	// defaults).
+	JoinTimeout  time.Duration
+	DrainTimeout time.Duration
+}
+
+// resolvePremad finds the node daemon binary: an explicit path wins, then a
+// premad next to the running executable (the common "go build ./..." layout),
+// then PATH.
+func resolvePremad(explicit string) (string, error) {
+	if explicit != "" {
+		return explicit, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(self), "premad")
+		if st, err := os.Stat(cand); err == nil && !st.IsDir() {
+			return cand, nil
+		}
+	}
+	path, err := exec.LookPath("premad")
+	if err != nil {
+		return "", fmt.Errorf("bench: premad binary not found (build cmd/premad and pass its path, or put it on PATH): %w", err)
+	}
+	return path, nil
+}
+
+// RunDist executes one distributed run end to end from the coordinator
+// side: listen, spawn (or await) the node daemons, run the session, and
+// merge the per-node partial results into one Result comparable with the
+// in-process backends' (same counters, same residency, summed per-node).
+func RunDist(spec DistSpec, opt DistOptions) (*Result, error) {
+	c, err := dist.Listen(dist.CoordConfig{
+		Listen:       opt.Listen,
+		Nodes:        opt.Nodes,
+		Procs:        spec.Procs,
+		JoinTimeout:  opt.JoinTimeout,
+		DrainTimeout: opt.DrainTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var cmds []*exec.Cmd
+	killAll := func() {
+		for _, cmd := range cmds {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+			}
+			cmd.Wait()
+		}
+	}
+	if !opt.Attach {
+		premad, err := resolvePremad(opt.Premad)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		for i := 0; i < opt.Nodes; i++ {
+			cmd := exec.Command(premad,
+				"-coord", c.Addr(),
+				"-listen", "127.0.0.1:0",
+				"-node", strconv.Itoa(i))
+			cmd.Stdout = os.Stderr
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				killAll()
+				c.Close()
+				return nil, fmt.Errorf("bench: spawning premad node %d: %w", i, err)
+			}
+			cmds = append(cmds, cmd)
+		}
+	}
+
+	sum, err := c.Run(spec.Encode())
+	if err != nil {
+		killAll()
+		return nil, err
+	}
+	// The session is complete; the daemons exit on their own after the
+	// goodbye. Reap spawned ones and surface any nonzero exits.
+	for i, cmd := range cmds {
+		if werr := cmd.Wait(); werr != nil {
+			return nil, fmt.Errorf("bench: premad node %d: %w", i, werr)
+		}
+	}
+
+	res := &Result{
+		W:        spec.Workload(),
+		Makespan: sum.Makespan,
+		Accounts: sum.Accounts,
+		Counters: map[string]int{},
+	}
+	for node, blob := range sum.Reports {
+		p, err := decodeDistPartial(blob)
+		if err != nil {
+			return nil, fmt.Errorf("node %d report: %w", node, err)
+		}
+		if res.System == "" {
+			res.System = p.system
+		} else if res.System != p.system {
+			return nil, fmt.Errorf("bench: node %d ran system %q, node 0 ran %q", node, p.system, res.System)
+		}
+		for k, v := range p.counters {
+			res.Counters[k] += v
+		}
+		if p.resident != nil {
+			if res.Resident == nil {
+				res.Resident = make([]int, spec.Procs)
+			}
+			if len(p.resident) != spec.Procs {
+				return nil, fmt.Errorf("bench: node %d reported %d residency slots, want %d", node, len(p.resident), spec.Procs)
+			}
+			for i, n := range p.resident {
+				res.Resident[i] += n
+			}
+		}
+		res.WireFrames += p.wireFrames
+		res.WireDrift += p.wireDrift
+	}
+	return res, nil
+}

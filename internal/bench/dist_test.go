@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"prema/internal/dist"
+)
+
+const distTestTimeout = 30 * time.Second
+
+// freeAddr reserves a localhost port for a coordinator that has not started
+// listening yet, so in-process nodes can be pointed at it up front (Join
+// retries the dial until its timeout).
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// runDistInProcess drives a full coordinator+nodes session with the node
+// daemons as goroutines (real localhost TCP, shared address space), using
+// the exact driver premad runs.
+func runDistInProcess(t *testing.T, spec DistSpec, nodes int) *Result {
+	t.Helper()
+	addr := freeAddr(t)
+	errCh := make(chan error, nodes)
+	for i := 0; i < nodes; i++ {
+		go func(i int) {
+			n, err := dist.Join(dist.NodeConfig{
+				Coord: addr, Node: i,
+				JoinTimeout: distTestTimeout, DrainTimeout: distTestTimeout,
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer n.Close()
+			errCh <- RunDistNode(n)
+		}(i)
+	}
+	res, err := RunDist(spec, DistOptions{
+		Nodes: nodes, Listen: addr, Attach: true,
+		JoinTimeout: distTestTimeout, DrainTimeout: distTestTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nodes; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	return res
+}
+
+// TestDistNoneMatchesSim: a distributed 4-node run of the unbalanced
+// baseline must produce the same application-level counters and final
+// residency as the deterministic simulator — the bench-driver flavor of the
+// cross-backend conformance guarantee.
+func TestDistNoneMatchesSim(t *testing.T) {
+	fig, err := FigureByID(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := PaperWorkload(fig, 8, 2)
+	simRes, err := RunSystem("none", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := NewDistSpec("none", w)
+	spec.TimeScale = 1e-4
+	res := runDistInProcess(t, spec, 4)
+
+	if res.System != "none" {
+		t.Errorf("merged system = %q, want none", res.System)
+	}
+	if !reflect.DeepEqual(simRes.Counters, res.Counters) {
+		t.Errorf("counters diverge:\n sim:  %v\n dist: %v", simRes.Counters, res.Counters)
+	}
+	if !reflect.DeepEqual(simRes.Resident, res.Resident) {
+		t.Errorf("residency diverges:\n sim:  %v\n dist: %v", simRes.Resident, res.Resident)
+	}
+	if err := res.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+	if res.Makespan <= 0 {
+		t.Errorf("dist makespan = %v, want > 0", res.Makespan)
+	}
+	if res.WireFrames == 0 {
+		t.Error("a 4-node run encoded no wire frames")
+	}
+	if len(res.Accounts) != w.Procs {
+		t.Errorf("merged %d accounts, want %d", len(res.Accounts), w.Procs)
+	}
+}
+
+// TestDistPremaImplicitConserves: the full PREMA stack (implicit ILB +
+// work stealing) over 4 node processes-worth of mesh must conserve work —
+// every unit runs exactly once, every object ends resident somewhere —
+// even though the stealing pattern itself is timing-dependent.
+func TestDistPremaImplicitConserves(t *testing.T) {
+	fig, err := FigureByID(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := PaperWorkload(fig, 8, 2)
+	spec := NewDistSpec("prema-implicit", w)
+	spec.TimeScale = 1e-4
+	res := runDistInProcess(t, spec, 4)
+
+	if res.System != "prema-implicit" {
+		t.Errorf("merged system = %q, want prema-implicit", res.System)
+	}
+	if err := res.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+	if res.Makespan <= 0 {
+		t.Errorf("makespan = %v, want > 0", res.Makespan)
+	}
+}
+
+// TestDistPingPong: the two-rank transport probe over two node processes
+// (in-process here) reports its round count and a positive wall-clock
+// total through the partial-result merge.
+func TestDistPingPong(t *testing.T) {
+	w := Workload{Procs: 2, Units: 50, UnitBytes: 64, Seed: 7}
+	spec := NewDistSpec("pingpong", w)
+	res := runDistInProcess(t, spec, 2)
+
+	if got := res.Counters["pingpong_rounds"]; got != 50 {
+		t.Errorf("pingpong_rounds = %d, want 50", got)
+	}
+	if res.Counters["pingpong_ns_total"] <= 0 {
+		t.Error("pingpong_ns_total not positive")
+	}
+	if res.WireFrames == 0 {
+		t.Error("pingpong encoded no wire frames")
+	}
+}

@@ -198,6 +198,9 @@ func RunPremaOn(m substrate.Machine, w Workload, cfg PremaConfig) (*Result, erro
 	if cfg.Balance {
 		var req, grant, nack, moved int
 		for _, ws := range policies {
+			if ws == nil {
+				continue // rank hosted on another node of a distributed run
+			}
 			req += ws.Stats.Requests
 			grant += ws.Stats.GrantsServed
 			nack += ws.Stats.NacksServed

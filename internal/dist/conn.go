@@ -1,0 +1,65 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"prema/internal/wire"
+)
+
+// ctl wraps a control-plane connection (node↔coordinator, plus the peer
+// handshake on fresh data links): framed sends serialized by a mutex,
+// framed receives through one buffered reader, both deadline-guarded.
+type ctl struct {
+	c   net.Conn
+	r   *bufio.Reader
+	mu  sync.Mutex
+	max int
+}
+
+func newCtl(c net.Conn, maxFrame int) *ctl {
+	return &ctl{c: c, r: bufio.NewReader(c), max: maxFrame}
+}
+
+// send writes one control frame; a zero timeout writes without a deadline.
+func (l *ctl) send(payload any, timeout time.Duration) error {
+	frame := encodeCtl(payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if timeout > 0 {
+		l.c.SetWriteDeadline(time.Now().Add(timeout))
+		defer l.c.SetWriteDeadline(time.Time{})
+	}
+	_, err := l.c.Write(frame)
+	return err
+}
+
+// recv reads one control frame; a zero timeout blocks indefinitely.
+func (l *ctl) recv(timeout time.Duration) (any, error) {
+	if timeout > 0 {
+		l.c.SetReadDeadline(time.Now().Add(timeout))
+		defer l.c.SetReadDeadline(time.Time{})
+	}
+	frame, err := wire.ReadFrame(l.r, l.max)
+	if err != nil {
+		return nil, err
+	}
+	return decodeCtl(frame)
+}
+
+// recvAs reads one control frame and type-asserts it.
+func recvAs[T any](l *ctl, timeout time.Duration, phase string) (T, error) {
+	var zero T
+	v, err := l.recv(timeout)
+	if err != nil {
+		return zero, fmt.Errorf("dist: %s: %w", phase, err)
+	}
+	t, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("dist: %s: unexpected control message %T", phase, v)
+	}
+	return t, nil
+}

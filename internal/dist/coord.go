@@ -1,0 +1,271 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"prema/internal/substrate"
+	"prema/internal/wire"
+)
+
+// CoordConfig parameterizes a session coordinator.
+type CoordConfig struct {
+	// Listen is the control-plane listen address (host:port; port 0 picks a
+	// free one — read it back with Addr before starting nodes).
+	Listen string
+	// Nodes is the number of node processes that must join.
+	Nodes int
+	// Procs is the total processor count, split across nodes by RangeOf.
+	Procs int
+	// JoinTimeout bounds the join phase (0 = DefaultJoinTimeout).
+	JoinTimeout time.Duration
+	// DrainTimeout bounds the shutdown handshake once the first node
+	// finishes (0 = DefaultDrainTimeout).
+	DrainTimeout time.Duration
+	// MaxFrame is the largest frame accepted from the wire
+	// (0 = wire.DefaultMaxFrame).
+	MaxFrame int
+}
+
+// Coordinator owns a session's control plane: it collects node joins,
+// broadcasts the roster and the start release, then referees the drain.
+// It hosts no processors itself.
+type Coordinator struct {
+	cfg CoordConfig
+	ln  net.Listener
+}
+
+// Summary is what a completed session yields on the coordinator side.
+type Summary struct {
+	// Procs is the machine-wide processor count.
+	Procs int
+	// Makespan is the latest processor finish time across all nodes.
+	Makespan substrate.Time
+	// Accounts holds every processor's final ledger, indexed by rank.
+	Accounts []substrate.Account
+	// Reports holds each node's driver result blob, indexed by node id.
+	Reports [][]byte
+}
+
+// Listen opens the coordinator's control listener. Nodes may be started
+// before or after; they retry dialing until their join deadline.
+func Listen(cfg CoordConfig) (*Coordinator, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("dist: coordinator needs at least 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.Procs < cfg.Nodes {
+		return nil, fmt.Errorf("dist: %d processors cannot cover %d nodes", cfg.Procs, cfg.Nodes)
+	}
+	if cfg.JoinTimeout <= 0 {
+		cfg.JoinTimeout = DefaultJoinTimeout
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("dist: coordinator listener on %s: %w", cfg.Listen, err)
+	}
+	return &Coordinator{cfg: cfg, ln: ln}, nil
+}
+
+// Addr returns the bound control address (useful with port 0).
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close releases the control listener (Run closes it itself).
+func (c *Coordinator) Close() error { return c.ln.Close() }
+
+// Run drives one full session: join → roster → ready barrier → start →
+// done collection → fin broadcast → report collection. spec is the opaque
+// scenario payload handed verbatim to every node. Any node missing a
+// phase deadline aborts the whole session with an error; closing the
+// control connections then makes the surviving node processes exit
+// nonzero rather than hang.
+func (c *Coordinator) Run(spec []byte) (*Summary, error) {
+	defer c.ln.Close()
+	cfg := c.cfg
+	links := make([]*ctl, cfg.Nodes)   // by assigned node id
+	addrs := make([]string, cfg.Nodes) // data address per node id
+	closeAll := func() {
+		for _, l := range links {
+			if l != nil {
+				l.c.Close()
+			}
+		}
+	}
+	fail := func(err error) (*Summary, error) {
+		closeAll()
+		return nil, err
+	}
+
+	// Join: accept until every slot is claimed. Explicit claims win their
+	// slot immediately; anonymous joiners (Hello.Node < 0) fill the free
+	// slots in arrival order afterwards.
+	type joiner struct {
+		l    *ctl
+		addr string
+	}
+	var anon []joiner
+	failJoin := func(err error) (*Summary, error) {
+		for _, j := range anon {
+			j.l.c.Close()
+		}
+		return fail(err)
+	}
+	joined := 0
+	if tl, ok := c.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Now().Add(cfg.JoinTimeout))
+	}
+	for joined < cfg.Nodes {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return failJoin(fmt.Errorf("dist: %d of %d nodes joined: %w", joined, cfg.Nodes, err))
+		}
+		l := newCtl(conn, cfg.MaxFrame)
+		h, err := recvAs[*Hello](l, cfg.JoinTimeout, "hello")
+		if err != nil {
+			conn.Close() // not a member (port scan, stray connect); keep accepting
+			continue
+		}
+		switch id := int(h.Node); {
+		case id < 0:
+			anon = append(anon, joiner{l, h.Addr})
+			joined++
+		case id >= cfg.Nodes:
+			conn.Close()
+			return failJoin(fmt.Errorf("dist: node claimed id %d, roster has %d slots", id, cfg.Nodes))
+		case links[id] != nil:
+			conn.Close()
+			return failJoin(fmt.Errorf("dist: node id %d claimed twice", id))
+		default:
+			links[id] = l
+			addrs[id] = h.Addr
+			joined++
+		}
+	}
+	for id := range links {
+		if links[id] == nil {
+			j := anon[0]
+			anon = anon[1:]
+			links[id] = j.l
+			addrs[id] = j.addr
+		}
+	}
+
+	// Roster: every node learns its id, the machine shape, and the spec.
+	for id, l := range links {
+		ro := &Roster{You: int32(id), Procs: int32(cfg.Procs), Nodes: addrs, Spec: spec}
+		if err := l.send(ro, cfg.JoinTimeout); err != nil {
+			return fail(fmt.Errorf("dist: roster to node %d: %w", id, err))
+		}
+	}
+
+	// Ready barrier: every node has built its mesh and spawned processors.
+	for id, l := range links {
+		r, err := recvAs[*Ready](l, cfg.JoinTimeout, fmt.Sprintf("ready from node %d", id))
+		if err != nil {
+			return fail(err)
+		}
+		if int(r.Node) != id {
+			return fail(fmt.Errorf("dist: node %d sent Ready claiming id %d", id, r.Node))
+		}
+	}
+
+	// Start release: nodes stamp their wall-clock epoch on receipt, so the
+	// machine-wide epoch skew is bounded by this broadcast's spread.
+	for id, l := range links {
+		if err := l.send(&Start{}, cfg.JoinTimeout); err != nil {
+			return fail(fmt.Errorf("dist: start to node %d: %w", id, err))
+		}
+	}
+
+	// Done collection: no deadline until the first node finishes (the run
+	// itself is unbounded), then the drain timeout arms for the stragglers —
+	// a finished machine must not hang on one wedged node.
+	type doneRes struct {
+		id  int
+		d   *Done
+		err error
+	}
+	doneCh := make(chan doneRes, cfg.Nodes)
+	for id, l := range links {
+		go func(id int, l *ctl) {
+			d, err := recvAs[*Done](l, 0, fmt.Sprintf("done from node %d", id))
+			doneCh <- doneRes{id, d, err}
+		}(id, l)
+	}
+	dones := make([]*Done, cfg.Nodes)
+	for got := 0; got < cfg.Nodes; got++ {
+		r := <-doneCh
+		if r.err != nil {
+			return fail(r.err)
+		}
+		if int(r.d.Node) != r.id {
+			return fail(fmt.Errorf("dist: node %d sent Done claiming id %d", r.id, r.d.Node))
+		}
+		lo, hi := RangeOf(cfg.Procs, cfg.Nodes, r.id)
+		if len(r.d.Accounts) != hi-lo {
+			return fail(fmt.Errorf("dist: node %d reported %d accounts, hosts %d ranks", r.id, len(r.d.Accounts), hi-lo))
+		}
+		dones[r.id] = r.d
+		if got == 0 {
+			// Arm the drain deadline on every still-pending connection; a
+			// deadline set concurrently unblocks the reader goroutines'
+			// in-flight reads.
+			dl := time.Now().Add(cfg.DrainTimeout)
+			for id, l := range links {
+				if dones[id] == nil && id != r.id {
+					l.c.SetReadDeadline(dl)
+				}
+			}
+		}
+	}
+
+	makespan := substrate.Time(0)
+	accounts := make([]substrate.Account, cfg.Procs)
+	for id, d := range dones {
+		if d.FinishedAt > makespan {
+			makespan = d.FinishedAt
+		}
+		lo, _ := RangeOf(cfg.Procs, cfg.Nodes, id)
+		copy(accounts[lo:], d.Accounts)
+	}
+
+	// Fin broadcast: release the drain barrier with the agreed makespan.
+	for id, l := range links {
+		if err := l.send(&Fin{Makespan: makespan}, cfg.DrainTimeout); err != nil {
+			return fail(fmt.Errorf("dist: fin to node %d: %w", id, err))
+		}
+	}
+
+	// Report collection: each node's driver sends its result blob goodbye.
+	type repRes struct {
+		id  int
+		rp  *Report
+		err error
+	}
+	repCh := make(chan repRes, cfg.Nodes)
+	for id, l := range links {
+		go func(id int, l *ctl) {
+			rp, err := recvAs[*Report](l, cfg.DrainTimeout, fmt.Sprintf("report from node %d", id))
+			repCh <- repRes{id, rp, err}
+		}(id, l)
+	}
+	reports := make([][]byte, cfg.Nodes)
+	for got := 0; got < cfg.Nodes; got++ {
+		r := <-repCh
+		if r.err != nil {
+			return fail(r.err)
+		}
+		if int(r.rp.Node) != r.id {
+			return fail(fmt.Errorf("dist: node %d sent Report claiming id %d", r.id, r.rp.Node))
+		}
+		reports[r.id] = r.rp.Blob
+	}
+	closeAll()
+	return &Summary{Procs: cfg.Procs, Makespan: makespan, Accounts: accounts, Reports: reports}, nil
+}

@@ -1,0 +1,243 @@
+package dist
+
+import (
+	"math/rand"
+	"time"
+
+	"prema/internal/substrate"
+	"prema/internal/wire"
+)
+
+// Endpoint is one hosted processor: a goroutine plus its delivery channel,
+// inbox, ledger, and random source — rtm's endpoint with a remote path in
+// Send. All substrate methods must be called from the processor's own body
+// goroutine.
+type Endpoint struct {
+	m    *Machine
+	id   int // global rank
+	name string
+	body func(substrate.Endpoint)
+
+	// in is the merged delivery feed (written by local senders, latency
+	// forwarders, and peer read loops); inbox is the drained,
+	// application-visible queue, owned exclusively by this goroutine.
+	in    chan *substrate.Msg
+	inbox []*substrate.Msg
+
+	// lastArrival[dst] enforces per-(src,dst) FIFO under the injected local
+	// latency model; only local dst slots are ever used.
+	lastArrival []substrate.Time
+
+	acct       substrate.Account
+	rng        *rand.Rand
+	finishedAt substrate.Time
+}
+
+var _ substrate.Endpoint = (*Endpoint)(nil)
+
+// ID implements substrate.Endpoint: the global rank.
+func (e *Endpoint) ID() int { return e.id }
+
+// Name implements substrate.Endpoint.
+func (e *Endpoint) Name() string { return e.name }
+
+// NumPeers implements substrate.Endpoint: the machine-wide count.
+func (e *Endpoint) NumPeers() int { return e.m.node.procs }
+
+// Now implements substrate.Clock.
+func (e *Endpoint) Now() substrate.Time { return e.m.now() }
+
+// Rand returns this endpoint's private seeded random source.
+func (e *Endpoint) Rand() *rand.Rand { return e.rng }
+
+// Account implements substrate.Endpoint; read it after Run returns.
+func (e *Endpoint) Account() *substrate.Account { return &e.acct }
+
+// Charge implements substrate.Endpoint.
+func (e *Endpoint) Charge(cat substrate.Category, d substrate.Time) { e.acct[cat] += d }
+
+// killed panics errKilled; the body wrapper in Run recovers it.
+func (e *Endpoint) killed() { panic(errKilled) }
+
+// Advance burns d of CPU time (scaled wall-clock) and attributes the
+// measured elapsed time to cat.
+func (e *Endpoint) Advance(d substrate.Time, cat substrate.Category) {
+	if d <= 0 {
+		return
+	}
+	t0 := e.m.now()
+	e.m.sleepUntil(t0+d, e.killed)
+	e.acct[cat] += e.m.now() - t0
+}
+
+// Send transmits msg, stamping Src and SentAt and charging per-message
+// send CPU. A local destination goes through rtm's injected-latency
+// machinery; a remote one is encoded as a wire frame and queued on the
+// destination node's connection — encoding panics on an unregistered
+// payload type, surfacing the programming error exactly as wire.Wrap
+// does. The caller must not touch msg (or ownership-transferred payload
+// objects) afterwards.
+func (e *Endpoint) Send(msg *substrate.Msg, cat substrate.Category) {
+	msg.Src = e.id
+	msg.SentAt = e.m.now()
+	if o := e.m.cfg.SendCPU; o > 0 {
+		e.Advance(o, cat)
+	}
+	m := e.m
+	if dstNode := m.node.procNode[msg.Dst]; dstNode != m.node.id {
+		frame, plen := wire.EncodeMsg(msg)
+		m.frames.Add(1)
+		m.wireBytes.Add(int64(len(frame)))
+		if plen > msg.Size {
+			m.drift.Add(1)
+		}
+		select {
+		case m.outs[dstNode] <- frame:
+		case <-m.stop:
+			e.killed()
+		}
+		return
+	}
+	if m.links == nil {
+		msg.ArrivedAt = m.now()
+		e.deliver(m.eps[msg.Dst].in, msg)
+		return
+	}
+	arrival := m.now() + m.cfg.Latency + substrate.Time(msg.Size)*m.cfg.PerByte
+	if last := e.lastArrival[msg.Dst]; arrival <= last {
+		arrival = last + 1
+	}
+	e.lastArrival[msg.Dst] = arrival
+	msg.ArrivedAt = arrival // the forwarder holds the message until then
+	e.deliver(m.links[e.id-m.lo][msg.Dst-m.lo], msg)
+}
+
+// deliver pushes onto a delivery channel, aborting if the machine stops
+// while the channel is full (back-pressure during teardown).
+func (e *Endpoint) deliver(ch chan *substrate.Msg, m *substrate.Msg) {
+	select {
+	case ch <- m:
+	case <-e.m.stop:
+		e.killed()
+	}
+}
+
+// drain moves everything currently buffered in the delivery feed into the
+// inbox without blocking.
+func (e *Endpoint) drain() {
+	for {
+		select {
+		case m := <-e.in:
+			e.inbox = append(e.inbox, m)
+		default:
+			return
+		}
+	}
+}
+
+// InboxLen implements substrate.Endpoint.
+func (e *Endpoint) InboxLen() int {
+	e.drain()
+	return len(e.inbox)
+}
+
+// HasMsg implements substrate.Endpoint.
+func (e *Endpoint) HasMsg(tag int) bool {
+	e.drain()
+	for _, m := range e.inbox {
+		if m.Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// TryRecv implements substrate.Endpoint.
+func (e *Endpoint) TryRecv(cat substrate.Category) *substrate.Msg {
+	e.drain()
+	if len(e.inbox) == 0 {
+		return nil
+	}
+	m := e.inbox[0]
+	e.inbox = e.inbox[1:]
+	if len(e.inbox) == 0 {
+		e.inbox = nil
+	}
+	if o := e.m.cfg.RecvCPU; o > 0 {
+		e.Advance(o, cat)
+	}
+	return m
+}
+
+// TryRecvTag implements substrate.Endpoint.
+func (e *Endpoint) TryRecvTag(tag int, cat substrate.Category) *substrate.Msg {
+	e.drain()
+	for i, m := range e.inbox {
+		if m.Tag == tag {
+			e.inbox = append(e.inbox[:i], e.inbox[i+1:]...)
+			if o := e.m.cfg.RecvCPU; o > 0 {
+				e.Advance(o, cat)
+			}
+			return m
+		}
+	}
+	return nil
+}
+
+// Recv implements substrate.Endpoint.
+func (e *Endpoint) Recv(waitCat substrate.Category) *substrate.Msg {
+	e.WaitMsg(waitCat)
+	return e.TryRecv(substrate.CatMessaging)
+}
+
+// WaitMsg blocks until at least one message is queued, attributing the
+// measured wait to cat.
+func (e *Endpoint) WaitMsg(cat substrate.Category) {
+	if len(e.inbox) > 0 {
+		return
+	}
+	e.drain()
+	if len(e.inbox) > 0 {
+		return
+	}
+	t0 := e.m.now()
+	select {
+	case m := <-e.in:
+		e.inbox = append(e.inbox, m)
+	case <-e.m.stop:
+		e.killed()
+	}
+	e.acct[cat] += e.m.now() - t0
+}
+
+// minWait floors timed waits so that aggressively scaled machines still
+// yield the host CPU instead of degenerating into a hot poll loop.
+const minWait = time.Microsecond
+
+// WaitMsgFor blocks until a message is queued or d elapses, attributing
+// the measured wait to cat. It reports whether a message is available.
+func (e *Endpoint) WaitMsgFor(d substrate.Time, cat substrate.Category) bool {
+	if len(e.inbox) > 0 {
+		return true
+	}
+	e.drain()
+	if len(e.inbox) > 0 {
+		return true
+	}
+	wall := e.m.wall(d)
+	if wall < minWait {
+		wall = minWait
+	}
+	t0 := e.m.now()
+	t := time.NewTimer(wall)
+	defer t.Stop()
+	select {
+	case m := <-e.in:
+		e.inbox = append(e.inbox, m)
+	case <-t.C:
+	case <-e.m.stop:
+		e.killed()
+	}
+	e.acct[cat] += e.m.now() - t0
+	return len(e.inbox) > 0
+}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"io"
 
 	"prema/internal/substrate"
 )
@@ -32,6 +33,69 @@ const (
 	frameVersion = 1
 	headerBytes  = 2 + 1 + 5*4 + 8 + 8 + 4
 )
+
+// DefaultMaxFrame is the frame length limit ReadFrame applies when the
+// caller passes max <= 0. It comfortably fits every frame the stack
+// produces (the largest shipped payloads are migration envelopes a few
+// hundred KiB under pathological packing) while keeping a hostile peer's
+// declared length from forcing a large allocation.
+const DefaultMaxFrame = 1 << 20
+
+// FrameLen computes a frame's total length (header + payload + padding)
+// from its fixed-width header, without touching the payload. hdr must hold
+// at least headerBytes bytes of a validated-magic frame; the length is
+// derived from the size and plen fields exactly as AppendMsg lays them out.
+func frameLen(hdr []byte) int {
+	size := int(int32(uint32(hdr[19])<<24 | uint32(hdr[20])<<16 | uint32(hdr[21])<<8 | uint32(hdr[22])))
+	plen := int(uint32(hdr[39])<<24 | uint32(hdr[40])<<16 | uint32(hdr[41])<<8 | uint32(hdr[42]))
+	pad := size - plen
+	if pad < 0 {
+		pad = 0
+	}
+	return headerBytes + plen + pad
+}
+
+// ReadFrame reads exactly one self-delimiting frame from r and returns its
+// bytes, ready for DecodeMsg. It validates the magic and version and
+// enforces a maximum total frame length (max <= 0 selects DefaultMaxFrame)
+// *before* allocating the payload buffer, so a malicious or corrupt peer
+// can neither panic the reader nor force an allocation larger than the
+// limit. io.EOF is returned untouched when the stream ends cleanly between
+// frames; a stream ending mid-frame surfaces as io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [headerBytes]byte
+	if _, err := io.ReadFull(r, hdr[:2]); err != nil {
+		return nil, err
+	}
+	if magic := uint16(hdr[0])<<8 | uint16(hdr[1]); magic != frameMagic {
+		return nil, fmt.Errorf("wire: bad frame magic %#04x", magic)
+	}
+	if _, err := io.ReadFull(r, hdr[2:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if v := hdr[2]; v != frameVersion {
+		return nil, fmt.Errorf("wire: unsupported frame version %d", v)
+	}
+	total := frameLen(hdr[:])
+	if total < headerBytes || total > max {
+		return nil, fmt.Errorf("wire: frame length %d exceeds limit %d", total, max)
+	}
+	buf := make([]byte, total)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[headerBytes:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
 
 // AppendMsg encodes m as one self-delimiting frame into w and returns the
 // encoded payload length (before padding), for size-drift auditing.

@@ -13,8 +13,12 @@ import (
 // decoder does accept re-encodes and re-decodes to the same message — the
 // format is canonical on its accepted set. The seed corpus is one encoded
 // frame per registered payload kind (each layer's init has run via
-// wire_test.go's imports), so the fuzzer starts from every valid shape and
-// mutates toward the rejection boundaries.
+// wire_test.go's imports — including dist's session control plane, so the
+// Hello/Roster/Done handshake payloads a node accepts from the network are
+// seeded), so the fuzzer starts from every valid shape and mutates toward
+// the rejection boundaries. The same inputs drive ReadFrame, the streaming
+// entry point untrusted peers reach first: it must never panic and never
+// return a frame above its length limit, no matter what the bytes declare.
 func FuzzFrameRoundTrip(f *testing.F) {
 	for i, s := range wire.Samples() {
 		m := &substrate.Msg{
@@ -33,6 +37,13 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add([]byte{0x50, 0x52, 1})
 
 	f.Fuzz(func(t *testing.T, b []byte) {
+		const maxFrame = 1 << 16
+		if fr, err := wire.ReadFrame(bytes.NewReader(b), maxFrame); err == nil {
+			if len(fr) > maxFrame {
+				t.Fatalf("ReadFrame returned %d bytes past its %d limit", len(fr), maxFrame)
+			}
+			wire.DecodeMsg(fr) // an accepted frame must not panic the decoder
+		}
 		m, err := wire.DecodeMsg(b) // must not panic, whatever b holds
 		if err != nil {
 			return

@@ -45,6 +45,16 @@ const (
 	KindCollContribution Kind = 96
 	KindCollRelease      Kind = 97
 
+	// dist (the multi-process TCP backend's session control plane): 112–127.
+	KindDistHello     Kind = 112
+	KindDistRoster    Kind = 113
+	KindDistPeerHello Kind = 114
+	KindDistReady     Kind = 115
+	KindDistStart     Kind = 116
+	KindDistDone      Kind = 117
+	KindDistFin       Kind = 118
+	KindDistReport    Kind = 119
+
 	// KindUser is the first Kind available to application payload types
 	// (mobile-object data registered via mol.RegisterDataCodec).
 	KindUser Kind = 0x1000

@@ -5,6 +5,8 @@
 package wire_test
 
 import (
+	"bytes"
+	"io"
 	"reflect"
 	"strings"
 	"testing"
@@ -16,6 +18,7 @@ import (
 	// Each stack layer registers its payload codecs at init; the blank
 	// imports make this test's registry identical to a full run's.
 	_ "prema/internal/coll"
+	_ "prema/internal/dist"
 	_ "prema/internal/dmcs"
 	_ "prema/internal/mol"
 	_ "prema/internal/policy"
@@ -47,6 +50,14 @@ func TestRegistryTotality(t *testing.T) {
 		wire.KindPolicyClaim,
 		wire.KindCollContribution,
 		wire.KindCollRelease,
+		wire.KindDistHello,
+		wire.KindDistRoster,
+		wire.KindDistPeerHello,
+		wire.KindDistReady,
+		wire.KindDistStart,
+		wire.KindDistDone,
+		wire.KindDistFin,
+		wire.KindDistReport,
 	}
 	got := wire.RegisteredKinds()
 	if !reflect.DeepEqual(got, want) {
@@ -206,5 +217,71 @@ func TestAddrRouting(t *testing.T) {
 	}
 	if r2 := m.Router(); r2.NumNodes() != 1 {
 		t.Fatalf("Machine.Router NumNodes = %d", r2.NumNodes())
+	}
+}
+
+// TestReadFrame: the streaming decoder must frame a TCP byte stream exactly
+// — consecutive frames in, clean io.EOF between them — and reject hostile
+// input (bad magic, bad version, truncation, oversized declared lengths)
+// with errors, the last *before* allocating what the header promises.
+func TestReadFrame(t *testing.T) {
+	m := &substrate.Msg{Src: 1, Dst: 2, Kind: 3, Tag: substrate.TagApp, Data: 42, Size: 64}
+	frame, _ := wire.EncodeMsg(m)
+
+	// Two frames back to back, then a clean end of stream.
+	r := bytes.NewReader(append(append([]byte{}, frame...), frame...))
+	for i := 0; i < 2; i++ {
+		got, err := wire.ReadFrame(r, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, frame) {
+			t.Fatalf("frame %d: bytes differ from the encoding", i)
+		}
+		dm, err := wire.DecodeMsg(got)
+		if err != nil || dm.Src != 1 || dm.Dst != 2 || dm.Data != 42 {
+			t.Fatalf("frame %d decoded to %+v, %v", i, dm, err)
+		}
+	}
+	if _, err := wire.ReadFrame(r, 0); err != io.EOF {
+		t.Fatalf("at stream end: err = %v, want io.EOF", err)
+	}
+
+	// Every mid-frame truncation is an error — and never a clean EOF past
+	// the magic, so a dropped connection is distinguishable from a goodbye.
+	for cut := 1; cut < len(frame); cut++ {
+		_, err := wire.ReadFrame(bytes.NewReader(frame[:cut]), 0)
+		if err == nil {
+			t.Fatalf("cut at %d accepted", cut)
+		}
+		if cut >= 2 && err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+
+	corrupt := func(mutate func([]byte)) error {
+		b := append([]byte{}, frame...)
+		mutate(b)
+		_, err := wire.ReadFrame(bytes.NewReader(b), 0)
+		return err
+	}
+	if err := corrupt(func(b []byte) { b[0] = 0xFF }); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	if err := corrupt(func(b []byte) { b[2] = 99 }); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version: err = %v", err)
+	}
+
+	// A header declaring a multi-gigabyte payload on a tiny stream must be
+	// rejected by the length check, not by an allocation attempt.
+	if err := corrupt(func(b []byte) {
+		b[39], b[40], b[41], b[42] = 0x7F, 0xFF, 0xFF, 0xFF // plen field
+	}); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized declared length: err = %v", err)
+	}
+
+	// An honest frame above the caller's limit is rejected too.
+	if _, err := wire.ReadFrame(bytes.NewReader(frame), len(frame)-1); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("frame above caller limit: err = %v", err)
 	}
 }
